@@ -1,0 +1,162 @@
+// E14 — ablations of SSRmin design choices:
+//
+//  (a) the secondary-token condition (paper §3.1): the full condition
+//      "tra = 1 OR (rts = 1 AND successor shows <0.0>)" vs the rejected
+//      weak condition "tra = 1". Measured along identical CST executions:
+//      the weak secondary token goes extinct for a large fraction of the
+//      run; the full one exists at every instant.
+//  (b) modulus sensitivity: K = n+1 (minimal) vs larger K — convergence
+//      cost is essentially K-independent, only the state space grows
+//      (Theorem 1's 4K states/process).
+//  (c) CST refresh-interval sensitivity under loss: sparser refresh slows
+//      recovery but never breaks it (Lemma 9 is interval-independent).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ssr;
+
+void ablate_secondary_condition() {
+  std::cout << "--- (a) secondary-token condition: full vs weak (tra-only) "
+               "---\n";
+  TextTable table({"condition", "n", "secondary extinct %",
+                   "extinct intervals", "node coverage %", "min holders",
+                   "max holders"});
+  for (std::size_t n : {5u, 10u}) {
+    const auto K = static_cast<std::uint32_t>(n + 1);
+    core::SsrMinRing ring(n, K);
+    msgpass::NetworkParams params;
+    params.seed = 77;
+    const double duration = 4000.0;
+    for (bool strong : {true, false}) {
+      auto sec = msgpass::make_ssrmin_secondary_only_cst(
+          ring, core::canonical_legitimate(ring, 0), params, strong);
+      const auto sec_stats = sec.run(duration);
+      auto cov = strong ? msgpass::make_ssrmin_cst(
+                              ring, core::canonical_legitimate(ring, 0), params)
+                        : msgpass::make_ssrmin_weak_cst(
+                              ring, core::canonical_legitimate(ring, 0), params);
+      const auto cov_stats = cov.run(duration);
+      table.row()
+          .cell(strong ? "full (paper)" : "weak (tra only)")
+          .cell(n)
+          .cell(100.0 * (1.0 - sec_stats.coverage()), 2)
+          .cell(sec_stats.zero_intervals)
+          .cell(100.0 * cov_stats.coverage(), 2)
+          .cell(cov_stats.min_holders)
+          .cell(cov_stats.max_holders);
+    }
+  }
+  std::cout << table.render()
+            << "paper expectation (§3.1): the weak secondary token "
+               "\"extincts when two tokens are virtually located at the "
+               "same process\" — extinct % is large for the weak condition "
+               "and exactly 0 for the full one.\n\n";
+}
+
+void ablate_modulus() {
+  std::cout << "--- (b) modulus K sensitivity ---\n";
+  TextTable table({"n", "K", "states/process (4K)", "mean steps",
+                   "max steps", "mean/n^2"});
+  const int trials = bench::full_mode() ? 40 : 15;
+  for (std::size_t n : {8u, 16u}) {
+    for (std::uint32_t K :
+         {static_cast<std::uint32_t>(n + 1), static_cast<std::uint32_t>(2 * n),
+          static_cast<std::uint32_t>(4 * n)}) {
+      core::SsrMinRing ring(n, K);
+      SampleSet steps;
+      Rng rng(99 + n + K);
+      for (int t = 0; t < trials; ++t) {
+        stab::Engine<core::SsrMinRing> engine(ring,
+                                              core::random_config(ring, rng));
+        stab::CentralRandomDaemon daemon{rng.split()};
+        auto legit = [&ring](const core::SsrConfig& c) {
+          return core::is_legitimate(ring, c);
+        };
+        const auto r =
+            stab::run_until(engine, daemon, legit, 80ULL * n * n + 400);
+        if (r.reached) steps.add(static_cast<double>(r.steps));
+      }
+      table.row()
+          .cell(n)
+          .cell(K)
+          .cell(4 * K)
+          .cell(steps.mean(), 1)
+          .cell(steps.max(), 0)
+          .cell(steps.mean() / (static_cast<double>(n) * n), 3);
+    }
+  }
+  std::cout << table.render()
+            << "expectation: convergence cost is governed by n, not K "
+               "(K only has to exceed n).\n\n";
+}
+
+void ablate_refresh() {
+  std::cout << "--- (c) CST refresh interval under 20% loss ---\n";
+  TextTable table(
+      {"refresh interval", "mean stabilization time", "p95", "converged"});
+  const std::size_t n = 6;
+  const std::uint32_t K = 7;
+  core::SsrMinRing ring(n, K);
+  const int trials = bench::full_mode() ? 20 : 8;
+  for (double refresh : {2.0, 6.0, 18.0, 54.0}) {
+    SampleSet times;
+    int converged = 0;
+    Rng seeds(555);
+    for (int t = 0; t < trials; ++t) {
+      msgpass::NetworkParams params;
+      params.loss_probability = 0.2;
+      params.refresh_interval = refresh;
+      params.seed = seeds();
+      Rng rng = seeds.split();
+      auto sim = msgpass::make_ssrmin_cst(ring, core::random_config(ring, rng),
+                                          params);
+      sim.randomize_caches([K](Rng& r) {
+        core::SsrState s;
+        s.x = static_cast<std::uint32_t>(r.below(K));
+        s.rts = r.bernoulli(0.5);
+        s.tra = r.bernoulli(0.5);
+        return s;
+      });
+      bool ok = false;
+      auto stop = [&ring](const msgpass::CstSimulation<core::SsrMinRing>& s) {
+        return s.coherent() && core::is_legitimate(ring, s.global_config());
+      };
+      sim.run_until(stop, 200000.0, &ok);
+      if (ok) {
+        ++converged;
+        times.add(sim.now());
+      }
+    }
+    table.row()
+        .cell(refresh, 1)
+        .cell(times.empty() ? 0.0 : times.mean(), 1)
+        .cell(times.empty() ? 0.0 : times.percentile(95), 1)
+        .cell(std::to_string(converged) + "/" + std::to_string(trials));
+  }
+  std::cout << table.render()
+            << "expectation: recovery slows as the repair traffic thins "
+               "out, but every trial still converges (Lemma 9).\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E14: design-choice ablations", "paper §3.1 discussion, Theorem 1",
+      "the full secondary-token condition is what keeps a secondary token "
+      "alive at every instant; K and the refresh interval trade resources "
+      "for speed without affecting correctness");
+  ablate_secondary_condition();
+  ablate_modulus();
+  ablate_refresh();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace ssr::bench {
+
+/// Heavier sweeps (larger n, more seeds, exhaustive n=5 model checking) are
+/// enabled with SSRING_BENCH_FULL=1; the default configuration keeps every
+/// binary comfortably under a minute on modest hardware.
+inline bool full_mode() {
+  const char* v = std::getenv("SSRING_BENCH_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_artifact,
+                         const std::string& claim) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "paper artifact: " << paper_artifact << '\n'
+            << "claim under test: " << claim << "\n\n";
+}
+
+/// If SSRING_BENCH_EXPORT_DIR is set, writes the table as both
+/// <dir>/<name>.csv and <dir>/<name>.json for downstream plotting.
+inline void maybe_export(const TextTable& table, const std::string& name) {
+  const char* dir = std::getenv("SSRING_BENCH_EXPORT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base = std::string(dir) + "/" + name;
+  {
+    std::ofstream csv(base + ".csv");
+    csv << table.to_csv();
+  }
+  {
+    std::ofstream json(base + ".json");
+    json << table.to_json(2) << '\n';
+  }
+  std::cout << "(exported " << base << ".{csv,json})\n";
+}
+
+}  // namespace ssr::bench

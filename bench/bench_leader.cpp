@@ -1,0 +1,105 @@
+// E21 — leader election on id-based rings: discharges SSRmin's
+// "distinguished bottom process" assumption (paper §2.3). Exhaustive
+// verification per id assignment, convergence scaling, and the
+// ghost-leader starvation time.
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "elect/leader.hpp"
+#include "graph/protocol.hpp"
+#include "stabilizing/daemon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ssr;
+  bench::print_header(
+      "E21: leader election (bottom-process bootstrap)",
+      "discharges the distinguished-process assumption of §2.3",
+      "minimum-id election with hop counters stabilizes from any state; "
+      "ghost leaders starve within one saturation lap");
+
+  std::cout << "--- exhaustive verification (all ((max_id+1)*n)^n "
+               "configurations) ---\n";
+  TextTable verify_table({"ids", "configs", "fixpoints", "sound", "complete",
+                          "convergence", "worst steps"});
+  const std::vector<std::vector<std::uint32_t>> assignments{
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  for (const auto& ids : assignments) {
+    auto checker = elect::make_leader_checker(ids);
+    const auto report = checker.run();
+    std::string name;
+    for (auto id : ids) name += std::to_string(id);
+    verify_table.row()
+        .cell(name)
+        .cell(report.total_configs)
+        .cell(report.silent_configs)
+        .cell(report.fixpoints_sound)
+        .cell(report.fixpoints_complete)
+        .cell(report.convergence_holds)
+        .cell(report.worst_case_steps);
+  }
+  std::cout << verify_table.render() << '\n';
+  bench::maybe_export(verify_table, "leader_verify");
+
+  std::cout << "--- randomized convergence scaling ---\n";
+  TextTable conv({"n", "trials", "mean steps", "p95 steps", "max steps",
+                  "steps / n"});
+  const int trials = bench::full_mode() ? 40 : 15;
+  Rng rng(61);
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    SampleSet steps;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<std::uint32_t> ids(n);
+      std::iota(ids.begin(), ids.end(), 0u);
+      rng.shuffle(ids);
+      const elect::MinIdLeader ring(ids);
+      graph::GraphEngine<elect::MinIdLeader> engine(
+          ring, elect::random_config(ring, rng));
+      stab::RandomSubsetDaemon daemon{rng.split(), 0.5};
+      const auto result = graph::run_to_silence(engine, daemon, 1000000);
+      if (result.has_value()) steps.add(static_cast<double>(*result));
+    }
+    conv.row()
+        .cell(n)
+        .cell(trials)
+        .cell(steps.mean(), 1)
+        .cell(steps.percentile(95), 1)
+        .cell(steps.max(), 0)
+        .cell(steps.mean() / static_cast<double>(n), 2);
+  }
+  std::cout << conv.render() << '\n';
+  bench::maybe_export(conv, "leader_convergence");
+
+  std::cout << "--- ghost-leader starvation ---\n";
+  TextTable ghost({"n", "trials", "mean kill steps", "max kill steps"});
+  for (std::size_t n : {8u, 16u, 32u}) {
+    SampleSet steps;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<std::uint32_t> ids(n);
+      for (std::size_t i = 0; i < n; ++i)
+        ids[i] = static_cast<std::uint32_t>(i + 10);
+      rng.shuffle(ids);
+      const elect::MinIdLeader ring(ids);
+      elect::LeaderConfig config = elect::legitimate_config(ring);
+      // Plant a ghost id 0 (< every real id) at a random node.
+      config[rng.below(n)] = elect::LeaderState{0, 0};
+      graph::GraphEngine<elect::MinIdLeader> engine(ring, config);
+      stab::CentralRandomDaemon daemon{rng.split()};
+      const auto result = graph::run_to_silence(engine, daemon, 1000000);
+      if (result.has_value()) steps.add(static_cast<double>(*result));
+    }
+    ghost.row()
+        .cell(n)
+        .cell(trials)
+        .cell(steps.mean(), 1)
+        .cell(steps.max(), 0);
+  }
+  std::cout << ghost.render() << '\n';
+  bench::maybe_export(ghost, "leader_ghost");
+  std::cout << "reading: convergence is linear in n (each correction wave "
+               "travels once around); a ghost costs about one extra "
+               "saturation lap before its distance counter hits n.\n";
+  return 0;
+}

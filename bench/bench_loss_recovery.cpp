@@ -1,0 +1,103 @@
+// E10 — Lemma 9 / Theorem 4: starting from arbitrary node states AND
+// arbitrary cache contents, with uniform random message loss, the CST
+// execution of SSRmin reaches a legitimate configuration with coherent
+// caches; afterwards the holder count stays in [1, 2]. The table sweeps
+// the loss rate and reports stabilization times and post-stabilization
+// coverage.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ssr;
+
+msgpass::NetworkParams net(std::uint64_t seed, double loss) {
+  msgpass::NetworkParams p;
+  p.delay_min = 0.5;
+  p.delay_max = 1.5;
+  p.loss_probability = loss;
+  p.refresh_interval = 6.0;
+  p.service_min = 0.3;
+  p.service_max = 0.8;
+  p.seed = seed;
+  return p;
+}
+
+core::SsrState random_state(Rng& rng, std::uint32_t K) {
+  core::SsrState s;
+  s.x = static_cast<std::uint32_t>(rng.below(K));
+  s.rts = rng.bernoulli(0.5);
+  s.tra = rng.bernoulli(0.5);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E10: recovery under message loss", "Lemma 9, Theorem 4",
+      "from arbitrary states and caches, under uniform random loss, SSRmin "
+      "stabilizes; afterwards coverage is 100% with 1..2 holders");
+
+  const std::vector<std::size_t> sizes =
+      bench::full_mode() ? std::vector<std::size_t>{5, 10, 20}
+                         : std::vector<std::size_t>{5, 10};
+  const std::vector<double> losses{0.0, 0.05, 0.1, 0.2, 0.4};
+  const int trials = bench::full_mode() ? 20 : 8;
+
+  TextTable table({"n", "loss", "trials converged", "mean stab. time",
+                   "p95 stab. time", "post coverage %", "post min holders",
+                   "post max holders"});
+
+  for (std::size_t n : sizes) {
+    const auto K = static_cast<std::uint32_t>(n + 1);
+    const core::SsrMinRing ring(n, K);
+    for (double loss : losses) {
+      SampleSet stab_time;
+      int converged = 0;
+      double post_cov = 0.0;
+      std::size_t post_min = SIZE_MAX;
+      std::size_t post_max = 0;
+      Rng seed_rng(5000 + n * 13 + static_cast<std::uint64_t>(loss * 100));
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng = seed_rng.split();
+        auto sim = msgpass::make_ssrmin_cst(ring, core::random_config(ring, rng),
+                                            net(seed_rng(), loss));
+        sim.randomize_caches([K](Rng& r) { return random_state(r, K); });
+        bool stabilized = false;
+        auto stop = [&ring](const msgpass::CstSimulation<core::SsrMinRing>& s) {
+          return s.coherent() && core::is_legitimate(ring, s.global_config());
+        };
+        sim.run_until(stop, 100000.0, &stabilized);
+        if (!stabilized) continue;
+        ++converged;
+        stab_time.add(sim.now());
+        const msgpass::CoverageStats after = sim.run(2000.0);
+        post_cov += after.coverage();
+        post_min = std::min(post_min, after.min_holders);
+        post_max = std::max(post_max, after.max_holders);
+      }
+      table.row()
+          .cell(n)
+          .cell(loss, 2)
+          .cell(std::to_string(converged) + "/" + std::to_string(trials))
+          .cell(stab_time.empty() ? 0.0 : stab_time.mean(), 1)
+          .cell(stab_time.empty() ? 0.0 : stab_time.percentile(95), 1)
+          .cell(converged ? 100.0 * post_cov / converged : 0.0, 3)
+          .cell(post_min == SIZE_MAX ? 0 : post_min)
+          .cell(post_max);
+    }
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_export(table, "loss_recovery");
+  std::cout << "paper expectation: every trial converges (Lemma 9); "
+               "stabilization time grows with the loss rate; post-"
+               "stabilization coverage is 100% with holders in [1,2] "
+               "(Theorem 4).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E17 — exact average-case stabilization: expected hitting times to
+// Lambda under the uniform-random central daemon, solved exactly on the
+// full configuration graph and contrasted with the adversarial worst case
+// (E3). Quantifies how pessimistic Theorem 2's O(n^2) adversary is
+// compared to typical randomized scheduling.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "util/table.hpp"
+#include "verify/checkers.hpp"
+#include "verify/markov.hpp"
+
+int main() {
+  using namespace ssr;
+  bench::print_header(
+      "E17: exact expected stabilization time",
+      "complements Theorem 2 (worst case) with the exact average case",
+      "E[steps to Lambda] under the uniform central daemon, solved on the "
+      "full configuration graph");
+
+  TextTable table({"protocol", "n", "K", "configs", "mean E[steps]",
+                   "max E[steps]", "worst case (adversary)",
+                   "max/worst ratio", "solver sweeps", "ms"});
+
+  auto add_ssrmin = [&](std::size_t n, std::uint32_t K) {
+    auto checker = verify::make_ssrmin_checker(n, K);
+    verify::CheckOptions options;
+    options.keep_heights = true;
+    const auto check = checker.run(options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto hit = verify::expected_hitting_times(checker);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    table.row()
+        .cell("ssrmin")
+        .cell(n)
+        .cell(K)
+        .cell(checker.codec().total())
+        .cell(hit.mean_expected, 2)
+        .cell(hit.max_expected, 2)
+        .cell(check.worst_case_steps)
+        .cell(hit.max_expected / static_cast<double>(check.worst_case_steps),
+              3)
+        .cell(hit.iterations)
+        .cell(static_cast<std::uint64_t>(ms));
+  };
+  auto add_dijkstra = [&](std::size_t n, std::uint32_t K) {
+    auto checker = verify::make_kstate_checker(n, K);
+    verify::CheckOptions options;
+    options.keep_heights = true;
+    options.min_privileged = 1;
+    options.max_privileged = 1;
+    const auto check = checker.run(options);
+    const auto hit = verify::expected_hitting_times(checker);
+    table.row()
+        .cell("dijkstra")
+        .cell(n)
+        .cell(K)
+        .cell(checker.codec().total())
+        .cell(hit.mean_expected, 2)
+        .cell(hit.max_expected, 2)
+        .cell(check.worst_case_steps)
+        .cell(hit.max_expected / static_cast<double>(check.worst_case_steps),
+              3)
+        .cell(hit.iterations)
+        .cell(std::uint64_t{0});
+  };
+
+  add_ssrmin(3, 4);
+  add_ssrmin(3, 5);
+  add_ssrmin(4, 5);
+  add_dijkstra(3, 4);
+  add_dijkstra(4, 5);
+  add_dijkstra(5, 6);
+  if (bench::full_mode()) add_ssrmin(4, 6);
+
+  std::cout << table.render() << '\n';
+  bench::maybe_export(table, "markov");
+  std::cout << "reading: even the worst *starting* configuration stabilizes "
+               "in far fewer expected steps than the adversarial bound — "
+               "the randomized daemon is not the enemy; the scheduler is.\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// E18 — general topologies (the paper's §6 future work): self-stabilizing
+// maximal independent set as *local* mutual inclusion on arbitrary graphs,
+// exhaustively verified per topology, plus the design-space comparison the
+// camera application cares about: static/silent MIS duty (always the same
+// nodes active) vs SSRmin's rotating token (fair duty, ring-only).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "graph/check.hpp"
+#include "graph/cst.hpp"
+#include "graph/protocol.hpp"
+#include "inclusion/camera.hpp"
+#include "stabilizing/daemon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ssr;
+  bench::print_header(
+      "E18: local mutual inclusion on general topologies",
+      "paper §6 future work; references [10], [14]",
+      "a self-stabilizing MIS is a dominating set: every closed "
+      "neighborhood always has an active node once stable — local mutual "
+      "inclusion on any graph, at the price of static (unfair) duty");
+
+  // Exhaustive verification per topology.
+  std::cout << "--- exhaustive verification (all 3^n configurations, full "
+               "distributed daemon) ---\n";
+  TextTable verify_table({"topology", "n", "configs", "stable MIS configs",
+                          "fixpoints sound", "fixpoints complete",
+                          "convergence", "worst steps"});
+  Rng rng(5);
+  std::vector<std::pair<std::string, graph::Topology>> topologies;
+  topologies.emplace_back("ring5", graph::Topology::ring(5));
+  topologies.emplace_back("ring7", graph::Topology::ring(7));
+  topologies.emplace_back("path7", graph::Topology::path(7));
+  topologies.emplace_back("star7", graph::Topology::star(7));
+  topologies.emplace_back("complete6", graph::Topology::complete(6));
+  topologies.emplace_back("grid2x4", graph::Topology::grid(2, 4));
+  topologies.emplace_back("random8",
+                          graph::Topology::random_connected(8, 0.3, rng));
+  for (const auto& [name, topo] : topologies) {
+    auto checker = graph::make_mis_checker(topo);
+    const auto report = checker.run();
+    verify_table.row()
+        .cell(name)
+        .cell(topo.size())
+        .cell(report.total_configs)
+        .cell(report.silent_configs)
+        .cell(report.fixpoints_sound)
+        .cell(report.fixpoints_complete)
+        .cell(report.convergence_holds)
+        .cell(report.worst_case_steps);
+  }
+  std::cout << verify_table.render() << '\n';
+  bench::maybe_export(verify_table, "mis_verify");
+
+  // Convergence scaling on larger random graphs.
+  std::cout << "--- randomized convergence, larger graphs ---\n";
+  TextTable conv({"n", "edge prob", "trials", "mean steps", "max steps",
+                  "mean |MIS| / n"});
+  const int trials = bench::full_mode() ? 40 : 15;
+  for (std::size_t n : {16u, 32u, 64u}) {
+    for (double p : {0.05, 0.2}) {
+      SampleSet steps;
+      double mis_fraction = 0.0;
+      Rng trial_rng(100 + n);
+      for (int t = 0; t < trials; ++t) {
+        const auto topo = graph::Topology::random_connected(n, p, trial_rng);
+        graph::TurauMis mis(topo);
+        graph::GraphEngine<graph::TurauMis> engine(
+            mis, graph::random_config(topo, trial_rng));
+        stab::RandomSubsetDaemon daemon{trial_rng.split(), 0.5};
+        const auto result = graph::run_to_silence(engine, daemon, 1000000);
+        if (!result.has_value()) continue;
+        steps.add(static_cast<double>(*result));
+        mis_fraction +=
+            static_cast<double>(graph::mis_members(engine.config()).size()) /
+            static_cast<double>(n);
+      }
+      conv.row()
+          .cell(n)
+          .cell(p, 2)
+          .cell(trials)
+          .cell(steps.mean(), 1)
+          .cell(steps.max(), 0)
+          .cell(mis_fraction / trials, 3);
+    }
+  }
+  std::cout << conv.render() << '\n';
+  bench::maybe_export(conv, "mis_convergence");
+
+  // Design-space comparison on the ring: rotating token vs static MIS.
+  std::cout << "--- ring duty: rotating token (SSRmin) vs static MIS ---\n";
+  TextTable duty({"scheme", "n", "coverage guarantee", "mean active nodes",
+                  "duty fairness (Jain)", "moves after stabilization"});
+  for (std::size_t n : {9u, 15u}) {
+    {
+      incl::CameraParams params;
+      params.node_count = n;
+      params.duration = 2000.0;
+      params.net.seed = 3;
+      const auto r = incl::run_camera(incl::CameraPolicy::kSsrMin, params);
+      duty.row()
+          .cell("ssrmin (rotating)")
+          .cell(n)
+          .cell("global (>=1 anywhere)")
+          .cell(r.mean_active, 2)
+          .cell(r.duty_fairness, 3)
+          .cell("circulates forever");
+    }
+    {
+      Rng mis_rng(42);
+      const auto topo = graph::Topology::ring(n);
+      graph::TurauMis mis(topo);
+      graph::GraphEngine<graph::TurauMis> engine(
+          mis, graph::random_config(topo, mis_rng));
+      stab::CentralRandomDaemon daemon{mis_rng.split()};
+      const auto steps = graph::run_to_silence(engine, daemon, 100000);
+      const auto members = graph::mis_members(engine.config());
+      std::vector<double> active_time(n, 0.0);
+      for (std::size_t m : members) active_time[m] = 1.0;
+      duty.row()
+          .cell("mis (static)")
+          .cell(n)
+          .cell("local (every N[i])")
+          .cell(members.size())
+          .cell(incl::jain_fairness(active_time), 3)
+          .cell(steps.has_value() ? "silent (0 moves)" : "did not stabilize");
+    }
+  }
+  std::cout << duty.render() << '\n';
+  bench::maybe_export(duty, "mis_duty");
+
+  // Event-driven message passing: stabilization time under CST with loss.
+  std::cout << "--- event-driven CST (message passing) stabilization ---\n";
+  TextTable cst({"n", "loss", "trials converged", "mean stab. time",
+                 "p95 stab. time"});
+  Rng cst_rng(71);
+  for (std::size_t n : {8u, 16u}) {
+    for (double loss : {0.0, 0.2}) {
+      SampleSet times;
+      int converged = 0;
+      for (int t = 0; t < trials; ++t) {
+        const auto topo = graph::Topology::random_connected(n, 0.2, cst_rng);
+        graph::TurauMis mis(topo);
+        msgpass::NetworkParams net;
+        net.loss_probability = loss;
+        net.seed = cst_rng();
+        auto active = [](std::size_t, const graph::MisState& self,
+                         std::span<const graph::MisState>) {
+          return self.status == graph::MisStatus::kIn;
+        };
+        graph::GraphCstSimulation<graph::TurauMis> sim(
+            std::move(mis), graph::random_config(topo, cst_rng), active, net);
+        bool settled = false;
+        auto stop = [&topo](const graph::GraphCstSimulation<graph::TurauMis>& s) {
+          return s.coherent() && graph::is_stable_mis(topo, s.global_config());
+        };
+        sim.run_until(stop, 100000.0, &settled);
+        if (settled) {
+          ++converged;
+          times.add(sim.now());
+        }
+      }
+      cst.row()
+          .cell(n)
+          .cell(loss, 1)
+          .cell(std::to_string(converged) + "/" + std::to_string(trials))
+          .cell(times.empty() ? 0.0 : times.mean(), 1)
+          .cell(times.empty() ? 0.0 : times.percentile(95), 1);
+    }
+  }
+  std::cout << cst.render() << '\n';
+  bench::maybe_export(cst, "mis_cst");
+  std::cout
+      << "reading: the MIS gives the *stronger* local guarantee on any "
+         "topology and then never moves again (minimal control traffic), "
+         "but pins ~n/3 nodes active forever (fairness ~ |MIS|/n). SSRmin "
+         "keeps only 1-2 nodes active and rotates the burden evenly — the "
+         "right choice for the paper's energy-harvesting cameras.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E15 — single-transient-fault behavior (the superstabilization-flavored
+// future work of §6): exhaustive analysis of every 1-process corruption of
+// every legitimate configuration, with exact worst-case recovery from the
+// model checker's height function, cross-validated by replaying the
+// optimal adversary.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "verify/adversary.hpp"
+#include "verify/checkers.hpp"
+#include "verify/perturbation.hpp"
+
+int main() {
+  using namespace ssr;
+  bench::print_header(
+      "E15: exhaustive single-fault analysis",
+      "paper §6 future work (superstabilization), Lemma 3",
+      "a single corrupted process never extinguishes all tokens, and "
+      "recovers in far fewer steps than the global worst case");
+
+  TextTable table({"n", "K", "fault cases", "still legit", "safety >=1 token",
+                   "max recovery", "mean recovery", "global worst case"});
+  std::vector<std::pair<std::size_t, std::uint32_t>> spaces{{3, 4}, {3, 6},
+                                                            {4, 5}};
+  if (bench::full_mode()) spaces.push_back({4, 6});
+  for (auto [n, K] : spaces) {
+    const verify::PerturbationReport r = verify::analyze_single_faults(n, K);
+    table.row()
+        .cell(n)
+        .cell(K)
+        .cell(r.cases)
+        .cell(r.still_legitimate)
+        .cell(r.safety_preserved)
+        .cell(r.max_recovery_steps)
+        .cell(r.mean_recovery_steps, 2)
+        .cell(r.global_worst_case);
+  }
+  std::cout << table.render() << '\n';
+
+  // Recovery-time distribution for the largest space analyzed.
+  const auto [n, K] = spaces.back();
+  const verify::PerturbationReport r = verify::analyze_single_faults(n, K);
+  std::cout << "recovery-step distribution for n=" << n << ", K=" << K
+            << " (cases per exact worst-case step count):\n";
+  TextTable hist({"steps", "cases"});
+  for (std::size_t s = 0; s < r.histogram.size(); ++s) {
+    if (r.histogram[s] != 0) hist.row().cell(s).cell(r.histogram[s]);
+  }
+  std::cout << hist.render() << '\n';
+
+  // Cross-validation: the optimal adversary realizes the checker's global
+  // worst case exactly.
+  auto checker = verify::make_ssrmin_checker(4, 5);
+  verify::CheckOptions options;
+  options.keep_heights = true;
+  const verify::CheckReport check = checker.run(options);
+  const auto worst = verify::worst_configuration(check);
+  const auto replay = verify::replay_worst_execution(checker, check, worst);
+  std::cout << "optimal-adversary replay (n=4, K=5): predicted worst case "
+            << check.worst_case_steps << " steps, replay took " << replay.steps
+            << " steps, potential decreased by one per step: "
+            << (replay.potential_decreased_by_one ? "yes" : "NO") << "\n";
+  std::cout << "\nexpectation: 'safety' is yes everywhere (Lemma 3 holds "
+               "even mid-fault); mean recovery << global worst case (the "
+               "locality superstabilization asks for).\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E13 — graceful handover on real threads: one jthread per node, real
+// channels, real clocks. Consistent sampler snapshots must never observe
+// zero SSRmin token holders; the Dijkstra baseline has genuine extinction
+// windows a sampler can catch.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "runtime/factories.hpp"
+#include "runtime/udp_ring.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ssr;
+  using namespace std::chrono_literals;
+  bench::print_header(
+      "E13: threaded runtime handover", "Theorem 3 on real threads",
+      "consistent samples of the SSRmin ring always show 1..2 holders; "
+      "the token circulates and hands over gracefully");
+
+  const std::vector<std::size_t> sizes{4, 8};
+  const auto window = bench::full_mode() ? 1500ms : 600ms;
+
+  TextTable table({"algorithm", "n", "samples", "consistent", "zero-holder",
+                   "min holders", "max holders", "handovers", "rules exec",
+                   "msgs sent"});
+
+  for (std::size_t n : sizes) {
+    const auto K = static_cast<std::uint32_t>(n + 1);
+    runtime::RuntimeParams params;
+    params.refresh_interval = 500us;
+    params.seed = 2024;
+    {
+      core::SsrMinRing ring(n, K);
+      auto tr = runtime::make_ssrmin_threaded(
+          ring, core::canonical_legitimate(ring, 0), params);
+      tr->start();
+      const runtime::SamplerReport r = tr->observe(window, 200us);
+      tr->stop();
+      table.row()
+          .cell("ssrmin")
+          .cell(n)
+          .cell(r.samples)
+          .cell(r.consistent_samples)
+          .cell(r.zero_holder_samples)
+          .cell(r.min_holders)
+          .cell(r.max_holders)
+          .cell(r.handovers)
+          .cell(r.rule_executions)
+          .cell(r.messages_sent);
+    }
+    {
+      dijkstra::KStateRing ring(n, K);
+      auto tr = runtime::make_kstate_threaded(ring, dijkstra::KStateConfig(n),
+                                              params);
+      tr->start();
+      const runtime::SamplerReport r = tr->observe(window, 200us);
+      tr->stop();
+      table.row()
+          .cell("dijkstra")
+          .cell(n)
+          .cell(r.samples)
+          .cell(r.consistent_samples)
+          .cell(r.zero_holder_samples)
+          .cell(r.min_holders)
+          .cell(r.max_holders)
+          .cell(r.handovers)
+          .cell(r.rule_executions)
+          .cell(r.messages_sent);
+    }
+  }
+  // The same experiment over real loopback UDP sockets with CRC-framed
+  // states, clean and with 20% frame corruption (rejected by checksum,
+  // i.e. behaving as loss).
+  for (std::size_t n : sizes) {
+    const auto K = static_cast<std::uint32_t>(n + 1);
+    for (double corruption : {0.0, 0.2}) {
+      core::SsrMinRing ring(n, K);
+      runtime::UdpParams params;
+      params.refresh_interval = 1000us;
+      params.seed = 99;
+      params.corruption_probability = corruption;
+      runtime::UdpSsrRing udp(ring, core::canonical_legitimate(ring, 0),
+                              params);
+      udp.start();
+      const runtime::SamplerReport r = udp.observe(window, 300us);
+      udp.stop();
+      table.row()
+          .cell(corruption == 0.0 ? "ssrmin/udp" : "ssrmin/udp+20%corrupt")
+          .cell(n)
+          .cell(r.samples)
+          .cell(r.consistent_samples)
+          .cell(r.zero_holder_samples)
+          .cell(r.min_holders)
+          .cell(r.max_holders)
+          .cell(r.handovers)
+          .cell(r.rule_executions)
+          .cell(r.messages_sent);
+    }
+  }
+
+  std::cout << table.render() << '\n';
+  std::cout << "paper expectation: ssrmin zero-holder samples = 0 with "
+               "holders in [1,2] (clean links; corruption behaves as loss, "
+               "so rare transients are tolerated there); dijkstra may show "
+               "zero-holder samples (its handover is not graceful).\n";
+  return 0;
+}

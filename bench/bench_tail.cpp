@@ -1,0 +1,95 @@
+// E22 — the delay-variance boundary of Theorem 3 (finding F1 made
+// quantitative): sweep the delay distribution and measure token-
+// extinction windows of SSRmin under CST from a legitimate, coherent
+// start over one-in-flight FIFO links.
+//
+// Mechanism (found by tracing the first zero instant): a state message
+// carrying <rts = 1> from the successor's previous tenure arrives after
+// the token lapped the ring; the holder's Rule 4 repair guard matches the
+// stale view and destroys both tokens. This requires one message to stay
+// in transit longer than the fastest possible handshake lap — so delay
+// VARIANCE relative to the lap time is the control parameter: extreme
+// bounded variance on the smallest ring already shows rare windows, an
+// exponential tail shows them at a measurable rate, and growing the ring
+// (longer laps) suppresses the effect exponentially.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ssr;
+  bench::print_header(
+      "E22: delay-variance stress on the graceful handover",
+      "boundary of Theorem 3 (finding F1)",
+      "moderate delay variance preserves >= 1 holder exactly; extreme "
+      "variance or heavy tails open rare zero-token windows (stale rts=1 "
+      "triggers the Rule-4 repair), shrinking with ring size");
+
+  const double duration = bench::full_mode() ? 2000000.0 : 400000.0;
+  TextTable table({"delay model", "n", "mean delay", "coverage %",
+                   "zero intervals", "mean gap", "zero per 1k handovers",
+                   "handovers"});
+
+  struct Scenario {
+    const char* name;
+    double delay_min;
+    double delay_max;
+    msgpass::DelayModel model;
+  };
+  const Scenario scenarios[] = {
+      {"uniform, max/min=3", 0.5, 1.5, msgpass::DelayModel::kUniform},
+      {"uniform, max/min=61", 0.05, 3.05, msgpass::DelayModel::kUniform},
+      {"exponential tail", 0.05, 3.05,
+       msgpass::DelayModel::kExponentialTail},
+  };
+  for (std::size_t n : {3u, 5u, 8u}) {
+    for (const Scenario& sc : scenarios) {
+      core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+      msgpass::NetworkParams p;
+      p.delay_min = sc.delay_min;
+      p.delay_max = sc.delay_max;
+      p.delay_model = sc.model;
+      p.service_min = 0.05;
+      p.service_max = 0.1;
+      p.refresh_interval = 40.0;
+      p.seed = 11;
+      auto sim = msgpass::make_ssrmin_cst(
+          ring, core::canonical_legitimate(ring, 0), p);
+      const msgpass::CoverageStats s = sim.run(duration);
+      const double mean_gap =
+          s.zero_intervals > 0
+              ? s.zero_token_time / static_cast<double>(s.zero_intervals)
+              : 0.0;
+      table.row()
+          .cell(sc.name)
+          .cell(n)
+          .cell(p.delay_min +
+                    (p.delay_max - p.delay_min) *
+                        (sc.model == msgpass::DelayModel::kUniform ? 0.5
+                                                                   : 1.0),
+                2)
+          .cell(100.0 * s.coverage(), 4)
+          .cell(s.zero_intervals)
+          .cell(mean_gap, 2)
+          .cell(s.handovers > 0
+                    ? 1000.0 * static_cast<double>(s.zero_intervals) /
+                          static_cast<double>(s.handovers)
+                    : 0.0,
+                3)
+          .cell(s.handovers);
+    }
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_export(table, "tail");
+  std::cout
+      << "reading: moderate-variance rows are exact zeros — Theorem 3 in "
+         "its stated regime. Extreme variance / unbounded tails quantify "
+         "the freshness assumption the proof makes implicitly: one slow "
+         "message overlapping a fast handshake lap lets the stale rts=1 "
+         "fire the Rule-4 repair at the holder. Larger rings (longer "
+         "laps) suppress the effect exponentially.\n";
+  return 0;
+}

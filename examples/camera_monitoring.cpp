@@ -1,0 +1,53 @@
+// The paper's motivating application: a ring of battery-powered security
+// cameras where at least one camera must be recording at every instant.
+// Runs the same scenario under four policies and prints the trade-off
+// between observation coverage and energy.
+//
+// Usage: ./examples/camera_monitoring [nodes] [duration]
+#include <cstdlib>
+#include <iostream>
+
+#include "inclusion/camera.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 3000.0;
+
+  incl::CameraParams params;
+  params.node_count = nodes;
+  params.duration = duration;
+  params.drain_rate = 1.0;      // recording cost
+  params.idle_drain_rate = 0.05;  // standby cost
+  params.harvest_rate = 0.30;   // solar panel income
+  params.net.seed = 99;
+
+  std::cout << "Camera ring: " << nodes << " nodes, " << duration
+            << " ticks, recording drains " << params.drain_rate
+            << "/tick, harvesting yields " << params.harvest_rate
+            << "/tick\n\n";
+
+  TextTable table({"policy", "coverage %", "blackout intervals",
+                   "mean cameras on", "energy used", "min battery",
+                   "duty fairness"});
+  for (auto policy :
+       {incl::CameraPolicy::kSsrMin, incl::CameraPolicy::kDijkstra,
+        incl::CameraPolicy::kDualDijkstra, incl::CameraPolicy::kAllActive}) {
+    const incl::CameraReport r = incl::run_camera(policy, params);
+    table.row()
+        .cell(incl::to_string(policy))
+        .cell(100.0 * r.coverage, 3)
+        .cell(r.blackout_intervals)
+        .cell(r.mean_active, 2)
+        .cell(r.energy_consumed, 0)
+        .cell(r.min_battery, 1)
+        .cell(r.duty_fairness, 3);
+  }
+  std::cout << table.render();
+  std::cout << "\nssrmin keeps the scene covered 100% of the time with ~1-2 "
+               "cameras on;\nthe plain token ring goes dark during every "
+               "handover; all-on never sleeps\nand pays for it in energy.\n";
+  return 0;
+}

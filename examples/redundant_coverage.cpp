@@ -1,0 +1,65 @@
+// Redundant continuous coverage via multi-instance SSRmin — the (l, k)-
+// critical-section family the paper's related work introduces (§1.2):
+// running k independent instances guarantees at least k privileged slots
+// at every instant (think: "at least two cameras must be recording at all
+// times" in a safety-critical deployment).
+//
+// Usage: ./examples/redundant_coverage [nodes] [instances]
+#include <cstdlib>
+#include <iostream>
+
+#include "inclusion/multi.hpp"
+#include "msgpass/cst.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssr;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 9;
+  const std::size_t k =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  const incl::MultiSsrMin ring(n, static_cast<std::uint32_t>(n + 1), k);
+  std::cout << "ring of " << n << " nodes running " << k
+            << " independent SSRmin instances ((" << k << ", " << 2 * k
+            << ")-critical-section)\n\n";
+
+  msgpass::NetworkParams net;
+  net.seed = 7;
+
+  TextTable table({"measured set", "min", "max", "zero intervals",
+                   "coverage %"});
+  auto run_with = [&](const std::string& label, auto predicate) {
+    msgpass::CstSimulation<incl::MultiSsrMin> sim(
+        ring, incl::staggered_legitimate(ring), predicate, net);
+    const auto stats = sim.run(4000.0);
+    table.row()
+        .cell(label)
+        .cell(stats.min_holders)
+        .cell(stats.max_holders)
+        .cell(stats.zero_intervals)
+        .cell(100.0 * stats.coverage(), 2);
+  };
+
+  run_with("privileged nodes (any instance)",
+           [&ring](std::size_t i, const incl::MultiState& self,
+                   const incl::MultiState& pred, const incl::MultiState& succ) {
+             return ring.tokens_at(i, self, pred, succ) > 0;
+           });
+  for (std::size_t j = 0; j < k; ++j) {
+    run_with("instance " + std::to_string(j) + " holders",
+             [&ring, j](std::size_t i, const incl::MultiState& self,
+                        const incl::MultiState& pred,
+                        const incl::MultiState& succ) {
+               return ring.base().holds_primary(i, self.slots[j],
+                                                pred.slots[j]) ||
+                      ring.base().holds_secondary(self.slots[j],
+                                                  succ.slots[j]);
+             });
+  }
+  std::cout << table.render();
+  std::cout << "\nEvery instance row reads min = 1: each of the " << k
+            << " tokens is held by someone at every instant, so at least "
+            << k << " privileged slots exist continuously.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and regenerates every
+# experiment, teeing the outputs the repository's EXPERIMENTS.md refers to.
+#
+# Usage: scripts/run_all.sh [--full]
+#   --full   enables the larger sweeps (SSRING_BENCH_FULL=1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--full" ]]; then
+  export SSRING_BENCH_FULL=1
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "==================== $(basename "$b") ====================" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,57 @@
+// The paper's complexity bounds as first-class, testable quantities.
+// Every named bound in the lemmas/theorems gets a function here, so tests
+// and benches can assert "measured <= bound" against the exact published
+// expression rather than ad-hoc constants.
+#pragma once
+
+#include <cstdint>
+
+namespace ssr::core {
+
+/// Lemma 5: the maximum length of an execution containing no Rule 2/4
+/// move.
+constexpr std::uint64_t lemma5_rule_free_bound(std::size_t n) {
+  return 3ULL * n;
+}
+
+/// Convergence bound of the embedded Dijkstra ring under the unfair
+/// distributed daemon, 3n(n-1)/2 (Altisen et al., used in Lemma 8).
+constexpr std::uint64_t dijkstra_move_bound(std::size_t n) {
+  return 3ULL * n * (n - 1) / 2;
+}
+
+/// Lemma 7: once the Dijkstra part is legitimate, SSRmin converges within
+/// 3n*n + 4 steps.
+constexpr std::uint64_t lemma7_bound(std::size_t n) {
+  return 3ULL * n * n + 4;
+}
+
+/// Lemma 8's prefix length T1 = 3(L+1)M n^2 with the paper's constants
+/// L = 9 (domination size) and M = 2 (time-delay bound): 60 n^2 steps
+/// suffice for 3n(n-1)/2 Dijkstra moves to occur.
+constexpr std::uint64_t lemma8_domination_size() { return 9; }
+constexpr std::uint64_t lemma8_time_delay() { return 2; }
+constexpr std::uint64_t lemma8_prefix_bound(std::size_t n) {
+  return 3ULL * (lemma8_domination_size() + 1) * lemma8_time_delay() * n * n;
+}
+
+/// Theorem 2: total convergence bound T1 + (3n^2 + 4).
+constexpr std::uint64_t theorem2_bound(std::size_t n) {
+  return lemma8_prefix_bound(n) + lemma7_bound(n);
+}
+
+/// Theorem 1(2): states per process, 4K.
+constexpr std::uint64_t states_per_process(std::uint32_t K) {
+  return 4ULL * K;
+}
+
+/// |Lambda| = 3nK (Definition 1: three shapes x n holders x K values).
+constexpr std::uint64_t legitimate_count(std::size_t n, std::uint32_t K) {
+  return 3ULL * n * K;
+}
+
+/// Steps per revolution of the two-token inchworm in Lambda (Lemma 1's
+/// cycle structure): 3 per hop, n hops.
+constexpr std::uint64_t revolution_steps(std::size_t n) { return 3ULL * n; }
+
+}  // namespace ssr::core

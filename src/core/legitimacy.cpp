@@ -1,0 +1,131 @@
+#include "core/legitimacy.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssr::core {
+
+namespace {
+
+/// Finds the unique process with G_i true, or nullopt if there is not
+/// exactly one.
+std::optional<std::size_t> unique_guard_holder(const SsrMinRing& ring,
+                                               const SsrConfig& config) {
+  const std::size_t n = config.size();
+  std::optional<std::size_t> holder;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring.guard(i, config[i], config[stab::pred_index(i, n)])) {
+      if (holder.has_value()) return std::nullopt;
+      holder = i;
+    }
+  }
+  return holder;
+}
+
+}  // namespace
+
+bool dijkstra_part_legitimate(const SsrMinRing& ring,
+                              const SsrConfig& config) {
+  SSR_REQUIRE(config.size() == ring.size(), "configuration/ring size mismatch");
+  const std::size_t n = config.size();
+  const auto holder = unique_guard_holder(ring, config);
+  if (!holder.has_value()) return false;
+  const std::size_t t = *holder;
+  const std::uint32_t K = ring.modulus();
+  const std::uint32_t x = config[t].x;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t expected = (i < t) ? (x + 1) % K : x;
+    if (config[i].x != expected) return false;
+  }
+  return true;
+}
+
+std::optional<LegitimacyInfo> classify_legitimate(const SsrMinRing& ring,
+                                                  const SsrConfig& config) {
+  SSR_REQUIRE(config.size() == ring.size(), "configuration/ring size mismatch");
+  const std::size_t n = config.size();
+
+  const auto holder = unique_guard_holder(ring, config);
+  if (!holder.has_value()) return std::nullopt;
+  const std::size_t t = *holder;
+  const std::size_t t_succ = stab::succ_index(t, n);
+
+  // Definition 1 fixes the x-part shape: the processes ahead of the holder
+  // carry exactly x+1 (mod K), the holder and everyone after carry x. A
+  // unique guard holder only guarantees a two-level step; the step height
+  // must be exactly one.
+  const std::uint32_t K = ring.modulus();
+  const std::uint32_t x = config[t].x;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t expected = (i < t) ? (x + 1) % K : x;
+    if (config[i].x != expected) return std::nullopt;
+  }
+
+  // Every flag pair must be <0.0> except at t (and possibly t+1).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == t || i == t_succ) continue;
+    if (config[i].flags() != kFlags00) return std::nullopt;
+  }
+
+  const std::uint32_t ft = config[t].flags();
+  const std::uint32_t fs = config[t_succ].flags();
+  LegitimacyInfo info;
+  info.primary_holder = t;
+  if (ft == kFlags01 && fs == kFlags00) {
+    info.shape = LegitimateShape::kHolderTra;
+    return info;
+  }
+  if (ft == kFlags10 && fs == kFlags00) {
+    info.shape = LegitimateShape::kHolderRts;
+    return info;
+  }
+  if (ft == kFlags10 && fs == kFlags01) {
+    info.shape = LegitimateShape::kHandoffPending;
+    return info;
+  }
+  return std::nullopt;
+}
+
+bool is_legitimate(const SsrMinRing& ring, const SsrConfig& config) {
+  return classify_legitimate(ring, config).has_value();
+}
+
+std::vector<SsrConfig> enumerate_legitimate(const SsrMinRing& ring) {
+  const std::size_t n = ring.size();
+  const std::uint32_t K = ring.modulus();
+  std::vector<SsrConfig> out;
+  out.reserve(static_cast<std::size_t>(K) * n * 3);
+  for (std::uint32_t x = 0; x < K; ++x) {
+    for (std::size_t t = 0; t < n; ++t) {
+      // Dijkstra-legitimate x-part with the token at P_t: the first t
+      // entries carry x+1, the rest x (t = 0: all equal).
+      SsrConfig base(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        base[i].x = (i < t) ? (x + 1) % K : x;
+      }
+      // Shape (a): holder <0.1>.
+      SsrConfig a = base;
+      a[t].tra = true;
+      out.push_back(std::move(a));
+      // Shape (b): holder <1.0>.
+      SsrConfig b = base;
+      b[t].rts = true;
+      out.push_back(std::move(b));
+      // Shape (c): holder <1.0>, successor <0.1>.
+      SsrConfig c = base;
+      c[t].rts = true;
+      c[stab::succ_index(t, n)].tra = true;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+SsrConfig canonical_legitimate(const SsrMinRing& ring, std::uint32_t x) {
+  SSR_REQUIRE(x < ring.modulus(), "x out of range");
+  SsrConfig c(ring.size());
+  for (auto& s : c) s.x = x;
+  c[0].tra = true;
+  return c;
+}
+
+}  // namespace ssr::core

@@ -1,0 +1,61 @@
+// Legitimate configurations of SSRmin (paper Definition 1).
+//
+// A configuration is legitimate iff, for some x (arithmetic mod K) and some
+// holder position t, the x-part is Dijkstra-legitimate with its unique token
+// at P_t (all values equal with t = 0, or exactly the first t entries equal
+// to x+1 and the rest x), every <rts.tra> pair is <0.0> except:
+//
+//   (a) P_t = <0.1>                    — P_t holds primary + secondary;
+//   (b) P_t = <1.0>                    — P_t holds primary + secondary
+//                                        (offer not yet accepted);
+//   (c) P_t = <1.0>, P_{t+1} = <0.1>   — P_t holds primary, P_{t+1} holds
+//                                        the secondary token.
+//
+// Definition 1 lists these as six families; (a)-(c) over all holders t cover
+// exactly the same set including the wrap-around case t = n-1 where the
+// successor is P_0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ssrmin.hpp"
+
+namespace ssr::core {
+
+/// Which of the three legitimate shapes a configuration matches.
+enum class LegitimateShape {
+  kHolderTra,        ///< (a): holder has <0.1>
+  kHolderRts,        ///< (b): holder has <1.0>
+  kHandoffPending,   ///< (c): holder <1.0>, successor <0.1>
+};
+
+/// Decomposition of a legitimate configuration.
+struct LegitimacyInfo {
+  std::size_t primary_holder = 0;   ///< P_t, unique process with G_t true
+  LegitimateShape shape = LegitimateShape::kHolderTra;
+};
+
+/// Returns the decomposition if the configuration is legitimate, nullopt
+/// otherwise.
+std::optional<LegitimacyInfo> classify_legitimate(const SsrMinRing& ring,
+                                                  const SsrConfig& config);
+
+/// Definition 1 membership test.
+bool is_legitimate(const SsrMinRing& ring, const SsrConfig& config);
+
+/// All legitimate configurations: 3nK of them (three shapes, n holders,
+/// K values of x).
+std::vector<SsrConfig> enumerate_legitimate(const SsrMinRing& ring);
+
+/// The canonical legitimate configuration gamma_0 = (x.0.1, x.0.0, ...,
+/// x.0.0) used as the start of the closure proof (Lemma 1) and Figure 4.
+SsrConfig canonical_legitimate(const SsrMinRing& ring, std::uint32_t x);
+
+/// True iff the x-part alone is a legitimate Dijkstra configuration
+/// (exactly one process with G_i true) — the intermediate convergence
+/// milestone of Lemmas 7-8.
+bool dijkstra_part_legitimate(const SsrMinRing& ring, const SsrConfig& config);
+
+}  // namespace ssr::core

@@ -1,0 +1,142 @@
+#include "core/ssrmin.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssr::core {
+
+SsrMinRing::SsrMinRing(std::size_t n, std::uint32_t K) : n_(n), k_(K) {
+  SSR_REQUIRE(n >= 3, "SSRmin requires n >= 3 (Algorithm 3 line 2)");
+  SSR_REQUIRE(K > n, "SSRmin requires K > n (Algorithm 3 line 3)");
+}
+
+int SsrMinRing::enabled_rule(std::size_t i, const State& self,
+                             const State& pred, const State& succ) const {
+  const bool g = guard(i, self, pred);
+  const std::uint32_t sf = self.flags();
+  const std::uint32_t pf = pred.flags();
+  const std::uint32_t cf = succ.flags();
+  if (g) {
+    // Rule 1: self in {<0.0>, <0.1>, <1.1>}.
+    if (sf == kFlags00 || sf == kFlags01 || sf == kFlags11)
+      return kRuleReadyToSend;
+    // Rule 2: self = <1.0>, successor = <0.1>.
+    if (sf == kFlags10 && cf == kFlags01) return kRuleSendPrimary;
+    // Rule 4: the whole window differs from <0.0, 1.0, 0.0>. After rules 1
+    // and 2, self is necessarily <1.0> here, so this triggers unless the
+    // process is simply waiting for its successor's acknowledgment.
+    if (!(pf == kFlags00 && sf == kFlags10 && cf == kFlags00))
+      return kRuleFixGuardTrue;
+    return stab::kDisabled;
+  }
+  // Rule 3: predecessor offers the secondary token (<1.0>) and self can
+  // accept: <0.0> in legitimate runs, <1.0>/<1.1> during convergence.
+  if (pf == kFlags10 && (sf == kFlags00 || sf == kFlags10 || sf == kFlags11))
+    return kRuleReceiveSecondary;
+  // Rule 5: anything else with a nonzero flag pair is locally inconsistent,
+  // except the stable holder pattern <pred, self> = <1.0, 0.1>.
+  if (!(pf == kFlags10 && sf == kFlags01) && sf != kFlags00)
+    return kRuleFixGuardFalse;
+  return stab::kDisabled;
+}
+
+SsrMinRing::State SsrMinRing::apply(std::size_t i, int rule, const State& self,
+                                    const State& pred,
+                                    const State& succ) const {
+  SSR_REQUIRE(enabled_rule(i, self, pred, succ) == rule,
+              "rule applied while not the enabled rule");
+  State next = self;
+  switch (rule) {
+    case kRuleReadyToSend:  // <rts.tra> := <1.0>
+      next.rts = true;
+      next.tra = false;
+      break;
+    case kRuleSendPrimary:  // <rts.tra> := <0.0>; C_i
+      next.rts = false;
+      next.tra = false;
+      next.x = dijkstra::kstate_command(i, pred.x, k_);
+      break;
+    case kRuleReceiveSecondary:  // <rts.tra> := <0.1>
+      next.rts = false;
+      next.tra = true;
+      break;
+    case kRuleFixGuardTrue:  // <rts.tra> := <0.0>; C_i
+      next.rts = false;
+      next.tra = false;
+      next.x = dijkstra::kstate_command(i, pred.x, k_);
+      break;
+    case kRuleFixGuardFalse:  // <rts.tra> := <0.0>
+      next.rts = false;
+      next.tra = false;
+      break;
+    default:
+      SSR_REQUIRE(false, "unknown SSRmin rule id");
+  }
+  return next;
+}
+
+std::vector<TokenHoldings> token_holdings(const SsrMinRing& ring,
+                                          const SsrConfig& config) {
+  SSR_REQUIRE(config.size() == ring.size(), "configuration/ring size mismatch");
+  const std::size_t n = config.size();
+  std::vector<TokenHoldings> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SsrState& self = config[i];
+    const SsrState& pred = config[stab::pred_index(i, n)];
+    const SsrState& succ = config[stab::succ_index(i, n)];
+    out[i].primary = ring.holds_primary(i, self, pred);
+    out[i].secondary = ring.holds_secondary(self, succ);
+  }
+  return out;
+}
+
+std::size_t primary_token_count(const SsrMinRing& ring,
+                                const SsrConfig& config) {
+  std::size_t count = 0;
+  for (const auto& h : token_holdings(ring, config))
+    if (h.primary) ++count;
+  return count;
+}
+
+std::size_t secondary_token_count(const SsrMinRing& ring,
+                                  const SsrConfig& config) {
+  std::size_t count = 0;
+  for (const auto& h : token_holdings(ring, config))
+    if (h.secondary) ++count;
+  return count;
+}
+
+std::size_t privileged_count(const SsrMinRing& ring, const SsrConfig& config) {
+  std::size_t count = 0;
+  for (const auto& h : token_holdings(ring, config))
+    if (h.primary || h.secondary) ++count;
+  return count;
+}
+
+SsrConfig random_config(const SsrMinRing& ring, Rng& rng) {
+  SsrConfig c(ring.size());
+  for (auto& s : c) {
+    s.x = static_cast<std::uint32_t>(rng.below(ring.modulus()));
+    s.rts = rng.bernoulli(0.5);
+    s.tra = rng.bernoulli(0.5);
+  }
+  return c;
+}
+
+stab::TraceStyle<SsrState> trace_style(const SsrMinRing& ring) {
+  stab::TraceStyle<SsrState> style;
+  style.format_state = [](const SsrState& s) { return format_state(s); };
+  style.annotate = [ring](const std::vector<SsrState>& config,
+                          std::size_t i) -> std::string {
+    const std::size_t n = config.size();
+    const SsrState& self = config[i];
+    const SsrState& pred = config[stab::pred_index(i, n)];
+    const SsrState& succ = config[stab::succ_index(i, n)];
+    std::string marks;
+    if (ring.holds_primary(i, self, pred)) marks += 'P';
+    if (ring.holds_secondary(self, succ)) marks += 'S';
+    return marks;
+  };
+  return style;
+}
+
+}  // namespace ssr::core

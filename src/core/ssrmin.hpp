@@ -1,0 +1,144 @@
+// SSRmin — the paper's self-stabilizing mutual-inclusion algorithm
+// (Algorithm 3). Two tokens circulate a bidirectional ring like an
+// inchworm:
+//
+//   * the *primary* token is Dijkstra's K-state token (condition G_i);
+//   * the *secondary* token is the head of the inchworm, passed one hop
+//     ahead of the primary through an rts/tra handshake.
+//
+// Five prioritized rules (1 highest .. 5 lowest; a process is enabled by at
+// most one rule):
+//
+//   Rule 1 (alpha_1, "ready to send the secondary token"):
+//       G_i  &&  <rts_i.tra_i> in {<0.0>, <0.1>, <1.1>}
+//       -> <rts_i.tra_i> := <1.0>
+//   Rule 2 (alpha_2, "send the primary token"):
+//       G_i  &&  <rts_i.tra_i> = <1.0>  &&  <rts_{i+1}.tra_{i+1}> = <0.1>
+//       -> <rts_i.tra_i> := <0.0>;  C_i
+//   Rule 3 (beta, "receive the secondary token"):
+//       !G_i  &&  <rts_{i-1}.tra_{i-1}> = <1.0>
+//             &&  <rts_i.tra_i> in {<0.0>, <1.0>, <1.1>}
+//       -> <rts_i.tra_i> := <0.1>
+//   Rule 4 (fix, G_i true):
+//       G_i  &&  <pred, self, succ> != <0.0, 1.0, 0.0>
+//       -> <rts_i.tra_i> := <0.0>;  C_i
+//   Rule 5 (fix, G_i false):
+//       !G_i  &&  <pred, self> != <1.0, 0.1>  &&  self != <0.0>
+//       -> <rts_i.tra_i> := <0.0>
+//
+// Token conditions (Algorithm 3 lines 37-40):
+//   primary:   G_i
+//   secondary: tra_i = 1,  or  rts_i = 1 && <rts_{i+1}.tra_{i+1}> = <0.0>
+//
+// The second disjunct of the secondary-token condition is what gives the
+// algorithm its *model gap tolerance* (paper §5): the sender keeps holding
+// the secondary token until the receiver's acknowledgment is visible, so in
+// the message-passing model there is never an instant with zero tokens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/state.hpp"
+#include "dijkstra/kstate.hpp"
+#include "stabilizing/protocol.hpp"
+#include "stabilizing/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::core {
+
+/// The SSRmin protocol (satisfies stab::RingProtocol).
+class SsrMinRing {
+ public:
+  using State = SsrState;
+
+  static constexpr int kRuleReadyToSend = 1;
+  static constexpr int kRuleSendPrimary = 2;
+  static constexpr int kRuleReceiveSecondary = 3;
+  static constexpr int kRuleFixGuardTrue = 4;
+  static constexpr int kRuleFixGuardFalse = 5;
+
+  /// Paper constraints: n >= 3 processes, K > n (Algorithm 3 lines 2-3).
+  SsrMinRing(std::size_t n, std::uint32_t K);
+
+  std::size_t size() const { return n_; }
+  std::uint32_t modulus() const { return k_; }
+
+  /// Theorem 1(2): number of distinct local states per process.
+  std::uint32_t states_per_process() const { return 4 * k_; }
+
+  /// G_i — the guard of the embedded Dijkstra ring (primary-token
+  /// condition).
+  bool guard(std::size_t i, const State& self, const State& pred) const {
+    return dijkstra::kstate_guard(i, self.x, pred.x);
+  }
+
+  /// Highest-priority enabled rule (1..5) or stab::kDisabled.
+  int enabled_rule(std::size_t i, const State& self, const State& pred,
+                   const State& succ) const;
+
+  State apply(std::size_t i, int rule, const State& self, const State& pred,
+              const State& succ) const;
+
+  /// Primary token condition: G_i.
+  bool holds_primary(std::size_t i, const State& self, const State& pred) const {
+    return guard(i, self, pred);
+  }
+
+  /// Secondary token condition: tra_i = 1, or rts_i = 1 with the successor
+  /// showing <0.0>.
+  bool holds_secondary(const State& self, const State& succ) const {
+    return self.tra || (self.rts && succ.flags() == kFlags00);
+  }
+
+  /// The *rejected* secondary-token condition the paper discusses in §3.1:
+  /// tra_i = 1 alone. Under it the secondary token goes extinct whenever
+  /// the two tokens are co-located (shape <1.0> of Definition 1) — fine in
+  /// the state-reading model, but it forfeits the always-one-secondary
+  /// property the full condition provides. Kept for the ablation
+  /// experiments (E14).
+  bool holds_secondary_weak(const State& self) const { return self.tra; }
+
+  /// A process is privileged (may be in the critical section) iff it holds
+  /// the primary or the secondary token.
+  bool holds_token(std::size_t i, const State& self, const State& pred,
+                   const State& succ) const {
+    return holds_primary(i, self, pred) || holds_secondary(self, succ);
+  }
+
+ private:
+  std::size_t n_;
+  std::uint32_t k_;
+};
+
+using SsrConfig = std::vector<SsrState>;
+
+/// Which tokens each process holds in a configuration.
+struct TokenHoldings {
+  bool primary = false;
+  bool secondary = false;
+};
+
+std::vector<TokenHoldings> token_holdings(const SsrMinRing& ring,
+                                          const SsrConfig& config);
+
+std::size_t primary_token_count(const SsrMinRing& ring,
+                                const SsrConfig& config);
+std::size_t secondary_token_count(const SsrMinRing& ring,
+                                  const SsrConfig& config);
+
+/// Number of privileged processes (holding >= 1 token). Theorem 1 asserts
+/// this is in [1, 2] for every legitimate configuration.
+std::size_t privileged_count(const SsrMinRing& ring, const SsrConfig& config);
+
+/// Uniformly random configuration over the full state space {0..K-1} x
+/// {0,1} x {0,1} per process (the arbitrary-initial-configuration workload
+/// of the convergence experiments).
+SsrConfig random_config(const SsrMinRing& ring, Rng& rng);
+
+/// Trace formatting hooks reproducing the paper's Figure 4 cells, e.g.
+/// "3.0.1PS" (state, then 'P'/'S' marks).
+stab::TraceStyle<SsrState> trace_style(const SsrMinRing& ring);
+
+}  // namespace ssr::core

@@ -1,0 +1,56 @@
+// Local state of an SSRmin process (paper Algorithm 3, lines 4-7):
+//   x   in {0..K-1} — the embedded Dijkstra K-state counter
+//   rts in {0,1}    — "ready to send" the secondary token
+//   tra in {0,1}    — "token receipt acknowledged" for the secondary token
+//
+// The paper writes a local state as "x.rts.tra" (e.g. "3.0.1"); format_state
+// reproduces that notation. Theorem 1: the state space per process has size
+// 4K, and encode/decode provide the dense 0..4K-1 numbering the exhaustive
+// model checker uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ssr::core {
+
+struct SsrState {
+  std::uint32_t x = 0;
+  bool rts = false;
+  bool tra = false;
+
+  friend auto operator<=>(const SsrState&, const SsrState&) = default;
+
+  /// The <rts.tra> pair as a 2-bit code: 0b(rts)(tra), i.e. 0 = <0.0>,
+  /// 1 = <0.1>, 2 = <1.0>, 3 = <1.1>. Used to express the guard patterns of
+  /// Algorithm 3 compactly.
+  constexpr std::uint32_t flags() const {
+    return (rts ? 2u : 0u) | (tra ? 1u : 0u);
+  }
+};
+
+/// Flag-pair codes matching the paper's <rts.tra> notation.
+inline constexpr std::uint32_t kFlags00 = 0;
+inline constexpr std::uint32_t kFlags01 = 1;
+inline constexpr std::uint32_t kFlags10 = 2;
+inline constexpr std::uint32_t kFlags11 = 3;
+
+/// Paper notation "x.rts.tra", e.g. "3.0.1".
+inline std::string format_state(const SsrState& s) {
+  return std::to_string(s.x) + (s.rts ? ".1" : ".0") + (s.tra ? ".1" : ".0");
+}
+
+/// Dense code in [0, 4K): x * 4 + flags.
+inline std::uint32_t encode_state(const SsrState& s, std::uint32_t K) {
+  SSR_REQUIRE(s.x < K, "state.x out of range for modulus K");
+  return s.x * 4 + s.flags();
+}
+
+inline SsrState decode_state(std::uint32_t code, std::uint32_t K) {
+  SSR_REQUIRE(code < 4 * K, "state code out of range");
+  return SsrState{code / 4, ((code >> 1) & 1u) != 0, (code & 1u) != 0};
+}
+
+}  // namespace ssr::core

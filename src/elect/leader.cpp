@@ -1,0 +1,103 @@
+#include "elect/leader.hpp"
+
+#include <algorithm>
+
+#include "graph/check.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::elect {
+
+MinIdLeader::MinIdLeader(std::vector<std::uint32_t> ids)
+    : ids_(std::move(ids)), topology_(graph::Topology::ring(ids_.size())) {
+  SSR_REQUIRE(ids_.size() >= 3, "ring needs at least three nodes");
+  std::vector<std::uint32_t> sorted = ids_;
+  std::sort(sorted.begin(), sorted.end());
+  SSR_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "node ids must be unique");
+  max_id_ = sorted.back();
+  min_id_ = sorted.front();
+  leader_position_ = static_cast<std::size_t>(
+      std::find(ids_.begin(), ids_.end(), min_id_) - ids_.begin());
+}
+
+std::size_t MinIdLeader::pred_slot(std::size_t i) const {
+  const std::size_t n = ids_.size();
+  const std::size_t pred = (i + n - 1) % n;
+  const auto neigh = topology_.neighbors(i);
+  for (std::size_t k = 0; k < neigh.size(); ++k) {
+    if (neigh[k] == pred) return k;
+  }
+  SSR_ASSERT(false, "ring predecessor missing from neighbor list");
+}
+
+MinIdLeader::State MinIdLeader::desired(std::size_t i,
+                                        const State& pred) const {
+  const std::size_t n = ids_.size();
+  if (pred.lid < ids_[i] && pred.dist + 1 < n) {
+    return State{pred.lid, pred.dist + 1};
+  }
+  return State{ids_[i], 0};
+}
+
+int MinIdLeader::enabled_rule(std::size_t i, const State& self,
+                              std::span<const State> neighbors) const {
+  SSR_REQUIRE(neighbors.size() == topology_.neighbors(i).size(),
+              "neighbor vector size mismatch");
+  const State& pred = neighbors[pred_slot(i)];
+  return self == desired(i, pred) ? graph::kDisabled : kRuleCorrect;
+}
+
+MinIdLeader::State MinIdLeader::apply(std::size_t i, int rule,
+                                      const State& self,
+                                      std::span<const State> neighbors) const {
+  SSR_REQUIRE(rule == kRuleCorrect, "unknown leader-election rule id");
+  SSR_REQUIRE(enabled_rule(i, self, neighbors) == rule,
+              "rule applied while disabled");
+  return desired(i, neighbors[pred_slot(i)]);
+}
+
+bool is_legitimate(const MinIdLeader& ring, const LeaderConfig& config) {
+  SSR_REQUIRE(config.size() == ring.size(), "configuration size mismatch");
+  return config == legitimate_config(ring);
+}
+
+LeaderConfig legitimate_config(const MinIdLeader& ring) {
+  const std::size_t n = ring.size();
+  const std::size_t m = ring.leader_position();
+  LeaderConfig config(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    config[i].lid = ring.min_id();
+    config[i].dist = static_cast<std::uint32_t>((i + n - m) % n);
+  }
+  return config;
+}
+
+LeaderConfig random_config(const MinIdLeader& ring, Rng& rng) {
+  LeaderConfig config(ring.size());
+  for (auto& s : config) {
+    s.lid = static_cast<std::uint32_t>(rng.below(ring.max_id() + 1));
+    s.dist = static_cast<std::uint32_t>(rng.below(ring.size()));
+  }
+  return config;
+}
+
+graph::GraphModelChecker<MinIdLeader> make_leader_checker(
+    std::vector<std::uint32_t> ids) {
+  MinIdLeader protocol(std::move(ids));
+  const auto n = static_cast<std::uint32_t>(protocol.size());
+  const std::uint32_t lid_radix = protocol.max_id() + 1;
+  const std::uint32_t radix = lid_radix * n;
+  const LeaderConfig target = legitimate_config(protocol);
+  auto legit = [target](const LeaderConfig& config) {
+    return config == target;
+  };
+  return graph::GraphModelChecker<MinIdLeader>(
+      std::move(protocol), radix,
+      [lid_radix](const LeaderState& s) { return s.dist * lid_radix + s.lid; },
+      [lid_radix](std::uint32_t code) {
+        return LeaderState{code % lid_radix, code / lid_radix};
+      },
+      std::move(legit));
+}
+
+}  // namespace ssr::elect

@@ -1,0 +1,101 @@
+// Self-stabilizing leader election on id-based rings (minimum finding
+// with hop counters — the classic ghost-killing construction).
+//
+// Why it is here: SSRmin assumes a *distinguished bottom process* P_0
+// (paper §2.3). On a ring whose nodes only have unique ids, that
+// assumption is discharged by electing the minimum id self-stabilizingly;
+// SSRmin then runs with "bottom = elected leader" (hierarchical
+// composition of self-stabilizing layers — see test_leader.cpp's
+// composition test). The algorithm is silent, so the standard
+// transformation results the paper cites ([5, 17]) apply to it directly.
+//
+// Local state: (lid, dist) — the believed leader id and the believed hop
+// distance from that leader along the ring. Single rule per node i with
+// predecessor p:
+//
+//     desired(i) = (lid_p, dist_p + 1)   if dist_p + 1 < n and lid_p < id_i
+//                  (id_i, 0)             otherwise
+//     Rule 1: state_i != desired(i)  ->  state_i := desired(i)
+//
+// A corrupted "ghost" leader id smaller than every real id cannot sustain
+// itself: its support must strictly increase dist around the ring, and
+// dist saturates at n - 1, after which the proposal is rejected and the
+// ghost starves. Fixpoints are exactly "everyone believes the true
+// minimum with correct distances" — verified exhaustively by the graph
+// model checker over all ((max_id + 1) * n)^n configurations for small n.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/check.hpp"
+#include "graph/protocol.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::elect {
+
+struct LeaderState {
+  std::uint32_t lid = 0;   ///< believed leader id
+  std::uint32_t dist = 0;  ///< believed hop distance from the leader
+  friend auto operator<=>(const LeaderState&, const LeaderState&) = default;
+};
+
+class MinIdLeader {
+ public:
+  using State = LeaderState;
+
+  static constexpr int kRuleCorrect = 1;
+
+  /// @param ids unique node ids, position-indexed (ids[i] = id of node i).
+  explicit MinIdLeader(std::vector<std::uint32_t> ids);
+
+  const graph::Topology& topology() const { return topology_; }
+  std::size_t size() const { return ids_.size(); }
+  std::uint32_t id_of(std::size_t i) const { return ids_.at(i); }
+  std::uint32_t max_id() const { return max_id_; }
+  std::uint32_t min_id() const { return min_id_; }
+  /// Ring position of the node with the minimum id.
+  std::size_t leader_position() const { return leader_position_; }
+
+  int enabled_rule(std::size_t i, const State& self,
+                   std::span<const State> neighbors) const;
+  State apply(std::size_t i, int rule, const State& self,
+              std::span<const State> neighbors) const;
+
+  /// The target state of node i given its predecessor's state.
+  State desired(std::size_t i, const State& pred) const;
+
+  /// A node considers itself the leader iff lid == its own id.
+  bool believes_leader(std::size_t i, const State& s) const {
+    return s.lid == ids_[i];
+  }
+
+ private:
+  /// Position of node i's ring predecessor within neighbors(i).
+  std::size_t pred_slot(std::size_t i) const;
+
+  std::vector<std::uint32_t> ids_;
+  graph::Topology topology_;
+  std::uint32_t max_id_ = 0;
+  std::uint32_t min_id_ = 0;
+  std::size_t leader_position_ = 0;
+};
+
+using LeaderConfig = std::vector<LeaderState>;
+
+/// Legitimate: everyone believes the true minimum id with the correct
+/// ring distance from its holder.
+bool is_legitimate(const MinIdLeader& ring, const LeaderConfig& config);
+
+/// The unique legitimate configuration.
+LeaderConfig legitimate_config(const MinIdLeader& ring);
+
+LeaderConfig random_config(const MinIdLeader& ring, Rng& rng);
+
+/// Exhaustive checker over all ((max_id + 1) * n)^n configurations.
+graph::GraphModelChecker<MinIdLeader> make_leader_checker(
+    std::vector<std::uint32_t> ids);
+
+}  // namespace ssr::elect

@@ -1,0 +1,21 @@
+#include "graph/check.hpp"
+
+namespace ssr::graph {
+
+GraphModelChecker<TurauMis> make_mis_checker(Topology topology) {
+  Topology topo_copy = topology;  // the protocol owns one copy
+  TurauMis protocol(std::move(topo_copy));
+  auto legit = [topology](const MisConfig& config) {
+    return is_stable_mis(topology, config);
+  };
+  return GraphModelChecker<TurauMis>(
+      std::move(protocol), 3,
+      [](const MisState& s) { return static_cast<std::uint32_t>(s.status); },
+      [](std::uint32_t code) {
+        SSR_REQUIRE(code < 3, "bad MIS state code");
+        return MisState{static_cast<MisStatus>(code)};
+      },
+      std::move(legit));
+}
+
+}  // namespace ssr::graph

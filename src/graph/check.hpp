@@ -1,0 +1,250 @@
+// Exhaustive verification of *silent* graph protocols (MIS and friends):
+//
+//   * fixpoint soundness:    every silent configuration satisfies the
+//                            legitimacy predicate;
+//   * fixpoint completeness: every legitimate configuration is silent;
+//   * convergence:           no cycle among non-silent configurations
+//                            under the full distributed daemon, i.e.
+//                            every execution reaches silence;
+//   * worst-case steps to silence (exact, adversarial daemon).
+//
+// The mirror of verify::ModelChecker for the general-topology framework.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/mis.hpp"
+#include "graph/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::graph {
+
+struct GraphCheckReport {
+  std::uint64_t total_configs = 0;
+  std::uint64_t silent_configs = 0;
+  std::uint64_t legitimate_configs = 0;
+
+  bool fixpoints_sound = true;       ///< silent => legitimate
+  std::optional<std::uint64_t> unsound_witness;
+  bool fixpoints_complete = true;    ///< legitimate => silent
+  std::optional<std::uint64_t> incomplete_witness;
+
+  bool convergence_holds = true;
+  std::optional<std::uint64_t> cycle_witness;
+  std::uint64_t worst_case_steps = 0;
+  std::optional<std::uint64_t> worst_case_witness;
+
+  bool all_ok() const {
+    return fixpoints_sound && fixpoints_complete && convergence_holds;
+  }
+  std::string summary() const {
+    std::string s = "configs=" + std::to_string(total_configs) +
+                    " silent=" + std::to_string(silent_configs) +
+                    " legit=" + std::to_string(legitimate_configs);
+    s += std::string(" sound=") + (fixpoints_sound ? "yes" : "NO");
+    s += std::string(" complete=") + (fixpoints_complete ? "yes" : "NO");
+    s += std::string(" convergence=") + (convergence_holds ? "yes" : "NO");
+    if (convergence_holds)
+      s += " worst_steps=" + std::to_string(worst_case_steps);
+    return s;
+  }
+};
+
+template <GraphProtocol P>
+class GraphModelChecker {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+  using Encoder = std::function<std::uint32_t(const State&)>;
+  using Decoder = std::function<State(std::uint32_t)>;
+  using LegitPredicate = std::function<bool(const Config&)>;
+
+  GraphModelChecker(P protocol, std::uint32_t states_per_node, Encoder encode,
+                    Decoder decode, LegitPredicate legit)
+      : protocol_(std::move(protocol)),
+        radix_(states_per_node),
+        encode_(std::move(encode)),
+        decode_(std::move(decode)),
+        legit_(std::move(legit)) {
+    SSR_REQUIRE(radix_ >= 2, "need at least two states per node");
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < protocol_.topology().size(); ++i) {
+      SSR_REQUIRE(total <= (1ULL << 33) / radix_,
+                  "configuration space too large for exhaustive checking");
+      total *= radix_;
+    }
+    total_ = total;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  std::uint64_t encode(const Config& config) const {
+    std::uint64_t idx = 0;
+    for (std::size_t i = config.size(); i-- > 0;)
+      idx = idx * radix_ + encode_(config[i]);
+    return idx;
+  }
+
+  Config decode(std::uint64_t idx) const {
+    Config config(protocol_.topology().size());
+    for (auto& s : config) {
+      s = decode_(static_cast<std::uint32_t>(idx % radix_));
+      idx /= radix_;
+    }
+    return config;
+  }
+
+  GraphCheckReport run() const {
+    GraphCheckReport report;
+    report.total_configs = total_;
+
+    std::vector<std::uint8_t> silent(total_, 0);
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    for (std::uint64_t c = 0; c < total_; ++c) {
+      const Config config = decode(c);
+      enabled(config, idx, rules);
+      const bool is_silent = idx.empty();
+      const bool is_legit = legit_(config);
+      silent[c] = is_silent ? 1 : 0;
+      if (is_silent) ++report.silent_configs;
+      if (is_legit) ++report.legitimate_configs;
+      if (is_silent && !is_legit && report.fixpoints_sound) {
+        report.fixpoints_sound = false;
+        report.unsound_witness = c;
+      }
+      if (is_legit && !is_silent && report.fixpoints_complete) {
+        report.fixpoints_complete = false;
+        report.incomplete_witness = c;
+      }
+    }
+
+    // Convergence + exact worst case: tri-color DFS over non-silent
+    // configurations (same scheme as verify::ModelChecker).
+    constexpr std::uint8_t kWhite = 0, kGray = 1, kBlack = 2;
+    std::vector<std::uint8_t> color(total_, kWhite);
+    std::vector<std::uint32_t> height(total_, 0);
+    struct Frame {
+      std::uint64_t node;
+      std::vector<std::uint64_t> succ;
+      std::size_t next = 0;
+      std::uint32_t best = 0;
+    };
+    std::vector<Frame> stack;
+    std::vector<std::uint64_t> succs;
+
+    for (std::uint64_t root = 0; root < total_; ++root) {
+      if (silent[root] || color[root] != kWhite) continue;
+      if (!report.convergence_holds) break;
+      color[root] = kGray;
+      Frame f;
+      f.node = root;
+      successors(decode(root), f.succ);
+      stack.clear();
+      stack.push_back(std::move(f));
+      while (!stack.empty()) {
+        Frame& top = stack.back();
+        if (top.next < top.succ.size()) {
+          const std::uint64_t s = top.succ[top.next++];
+          if (silent[s]) {
+            top.best = std::max(top.best, 1u);
+            continue;
+          }
+          if (color[s] == kGray) {
+            report.convergence_holds = false;
+            report.cycle_witness = s;
+            break;
+          }
+          if (color[s] == kBlack) {
+            top.best = std::max(top.best, height[s] + 1);
+            continue;
+          }
+          color[s] = kGray;
+          Frame child;
+          child.node = s;
+          successors(decode(s), child.succ);
+          stack.push_back(std::move(child));
+          continue;
+        }
+        color[top.node] = kBlack;
+        height[top.node] = top.best;
+        if (top.best > report.worst_case_steps) {
+          report.worst_case_steps = top.best;
+          report.worst_case_witness = top.node;
+        }
+        const std::uint32_t done = top.best;
+        stack.pop_back();
+        if (!stack.empty()) {
+          stack.back().best = std::max(stack.back().best, done + 1);
+        }
+      }
+    }
+    return report;
+  }
+
+ private:
+  void enabled(const Config& config, std::vector<std::size_t>& idx,
+               std::vector<int>& rules) const {
+    idx.clear();
+    rules.clear();
+    std::vector<State> neigh;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      neigh.clear();
+      for (std::size_t j : protocol_.topology().neighbors(i))
+        neigh.push_back(config[j]);
+      const int r = protocol_.enabled_rule(i, config[i], neigh);
+      if (r != kDisabled) {
+        idx.push_back(i);
+        rules.push_back(r);
+      }
+    }
+  }
+
+  void successors(const Config& config, std::vector<std::uint64_t>& out) const {
+    out.clear();
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    enabled(config, idx, rules);
+    const std::size_t m = idx.size();
+    SSR_ASSERT(m < 20, "enabled set too large for subset enumeration");
+    if (m == 0) return;
+    std::vector<State> neigh;
+    // Precompute each enabled node's next state once (composite atomicity:
+    // all read the pre-step configuration).
+    std::vector<State> next_state;
+    next_state.reserve(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      neigh.clear();
+      for (std::size_t j : protocol_.topology().neighbors(idx[k]))
+        neigh.push_back(config[j]);
+      next_state.push_back(
+          protocol_.apply(idx[k], rules[k], config[idx[k]], neigh));
+    }
+    Config next = config;
+    for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (1u << k)) next[idx[k]] = next_state[k];
+      }
+      out.push_back(encode(next));
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (1u << k)) next[idx[k]] = config[idx[k]];
+      }
+    }
+  }
+
+  P protocol_;
+  std::uint64_t radix_;
+  Encoder encode_;
+  Decoder decode_;
+  LegitPredicate legit_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ready-made checker for TurauMis on a topology.
+GraphModelChecker<TurauMis> make_mis_checker(Topology topology);
+
+}  // namespace ssr::graph

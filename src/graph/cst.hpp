@@ -1,0 +1,298 @@
+// Event-driven CST execution for general-graph protocols — the
+// message-passing counterpart of graph::GraphEngine, mirroring
+// msgpass::CstSimulation (same network parameters, link discipline, loss/
+// duplication model and coverage accounting) but with one cache and one
+// pair of directed links per graph edge.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/protocol.hpp"
+#include "msgpass/cst.hpp"  // NetworkParams, CoverageStats, Time
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::graph {
+
+template <GraphProtocol P>
+class GraphCstSimulation {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+  /// Activity predicate on a node's local view (e.g. "is in the MIS").
+  using ActiveFn = std::function<bool(std::size_t, const State&,
+                                      std::span<const State>)>;
+
+  GraphCstSimulation(P protocol, Config initial, ActiveFn active,
+                     msgpass::NetworkParams params)
+      : protocol_(std::move(protocol)),
+        params_(params),
+        active_(std::move(active)),
+        rng_(params.seed),
+        states_(std::move(initial)) {
+    params_.validate();
+    const std::size_t n = protocol_.topology().size();
+    SSR_REQUIRE(states_.size() == n, "configuration size mismatch");
+    caches_.resize(n);
+    links_.resize(n);
+    exec_pending_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto neigh = protocol_.topology().neighbors(i);
+      for (std::size_t j : neigh) caches_[i].push_back(states_[j]);
+      links_[i].resize(neigh.size());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      push_timer(i, rng_.uniform01() * params_.refresh_interval);
+      maybe_schedule_execution(i);
+    }
+    holder_count_ = count_active();
+  }
+
+  std::size_t size() const { return states_.size(); }
+  msgpass::Time now() const { return now_; }
+  const Config& global_config() const { return states_; }
+
+  bool coherent() const {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto neigh = protocol_.topology().neighbors(i);
+      for (std::size_t k = 0; k < neigh.size(); ++k) {
+        if (!(caches_[i][k] == states_[neigh[k]])) return false;
+      }
+    }
+    return true;
+  }
+
+  void randomize_caches(const std::function<State(Rng&)>& gen) {
+    for (auto& row : caches_) {
+      for (auto& s : row) s = gen(rng_);
+    }
+    holder_count_ = count_active();
+  }
+
+  std::size_t active_count() const { return holder_count_; }
+
+  std::vector<bool> active_view() const {
+    const std::size_t n = states_.size();
+    std::vector<bool> active(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      active[i] = active_(i, states_[i], caches_[i]);
+    }
+    return active;
+  }
+
+  /// Runs for @p duration of simulated time.
+  msgpass::CoverageStats run(msgpass::Time duration) {
+    return run_impl(now_ + duration,
+                    [](const GraphCstSimulation&) { return false; });
+  }
+
+  /// Runs until stop(*this) or the deadline.
+  template <typename StopFn>
+  msgpass::CoverageStats run_until(StopFn&& stop, msgpass::Time deadline,
+                                   bool* stopped_early) {
+    auto stats = run_impl(deadline, std::forward<StopFn>(stop));
+    if (stopped_early != nullptr) *stopped_early = stopped_;
+    return stats;
+  }
+
+ private:
+  struct Link {
+    bool busy = false;
+    std::optional<State> pending;
+  };
+
+  struct Event {
+    msgpass::Time time = 0.0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t { kDelivery, kTimer, kExecute } kind =
+        Kind::kTimer;
+    std::size_t node = 0;    ///< receiver / owner
+    std::size_t sender = 0;
+    std::size_t slot = 0;    ///< sender's link slot index toward node
+    State payload{};
+    bool lost = false;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_timer(std::size_t i, msgpass::Time at) {
+    Event e;
+    e.time = at;
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kTimer;
+    e.node = i;
+    queue_.push(std::move(e));
+  }
+
+  /// Sends node i's state along its k-th incident edge.
+  void send(std::size_t i, std::size_t k) {
+    Link& l = links_[i][k];
+    if (l.busy) {
+      l.pending = states_[i];
+      return;
+    }
+    transmit(i, k, states_[i]);
+  }
+
+  void broadcast(std::size_t i) {
+    for (std::size_t k = 0; k < links_[i].size(); ++k) send(i, k);
+  }
+
+  void transmit(std::size_t i, std::size_t k, const State& payload) {
+    Link& l = links_[i][k];
+    l.busy = true;
+    Event e;
+    e.time = now_ + params_.draw_delay(rng_);
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kDelivery;
+    e.node = protocol_.topology().neighbors(i)[k];
+    e.sender = i;
+    e.slot = k;
+    e.payload = payload;
+    e.lost = rng_.bernoulli(params_.loss_probability);
+    queue_.push(std::move(e));
+  }
+
+  void maybe_schedule_execution(std::size_t i) {
+    if (exec_pending_[i]) return;
+    const int rule = protocol_.enabled_rule(i, states_[i], caches_[i]);
+    if (rule == kDisabled) return;
+    exec_pending_[i] = 1;
+    Event e;
+    e.time = now_ + params_.service_min +
+             rng_.uniform01() * (params_.service_max - params_.service_min);
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kExecute;
+    e.node = i;
+    queue_.push(std::move(e));
+  }
+
+  void handle_delivery(const Event& e, msgpass::CoverageStats& stats) {
+    ++stats.deliveries;
+    Link& l = links_[e.sender][e.slot];
+    SSR_ASSERT(l.busy, "delivery on an idle link");
+    l.busy = false;
+    if (l.pending.has_value()) {
+      State parked = *l.pending;
+      l.pending.reset();
+      transmit(e.sender, e.slot, parked);
+    }
+    if (e.lost) {
+      ++stats.losses;
+      return;
+    }
+    // Locate the sender in the receiver's neighbor order.
+    const std::size_t i = e.node;
+    const auto neigh = protocol_.topology().neighbors(i);
+    for (std::size_t k = 0; k < neigh.size(); ++k) {
+      if (neigh[k] == e.sender) {
+        caches_[i][k] = e.payload;
+        break;
+      }
+    }
+    maybe_schedule_execution(i);
+    broadcast(i);
+  }
+
+  void handle_execute(const Event& e, msgpass::CoverageStats& stats) {
+    const std::size_t i = e.node;
+    SSR_ASSERT(exec_pending_[i], "execute event without a pending flag");
+    exec_pending_[i] = 0;
+    const int rule = protocol_.enabled_rule(i, states_[i], caches_[i]);
+    if (rule == kDisabled) return;
+    states_[i] = protocol_.apply(i, rule, states_[i], caches_[i]);
+    ++stats.rule_executions;
+    broadcast(i);
+    maybe_schedule_execution(i);
+  }
+
+  void handle_timer(const Event& e) {
+    broadcast(e.node);
+    const double jitter = 0.9 + 0.2 * rng_.uniform01();
+    push_timer(e.node, now_ + params_.refresh_interval * jitter);
+  }
+
+  std::size_t count_active() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (active_(i, states_[i], caches_[i])) ++count;
+    }
+    return count;
+  }
+
+  template <typename StopFn>
+  msgpass::CoverageStats run_impl(msgpass::Time deadline, StopFn&& stop) {
+    msgpass::CoverageStats stats;
+    stopped_ = false;
+    if (stop(*this)) {
+      stopped_ = true;
+      return stats;
+    }
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      const Event e = queue_.top();
+      queue_.pop();
+      const msgpass::Time dt = e.time - now_;
+      stats.observed_time += dt;
+      if (holder_count_ == 0) stats.zero_token_time += dt;
+      now_ = e.time;
+      switch (e.kind) {
+        case Event::Kind::kDelivery:
+          handle_delivery(e, stats);
+          break;
+        case Event::Kind::kTimer:
+          handle_timer(e);
+          break;
+        case Event::Kind::kExecute:
+          handle_execute(e, stats);
+          break;
+      }
+      ++stats.events;
+      const std::size_t count = count_active();
+      if (count != holder_count_) ++stats.handovers;
+      stats.min_holders = std::min(stats.min_holders, count);
+      stats.max_holders = std::max(stats.max_holders, count);
+      holder_count_ = count;
+      if (stop(*this)) {
+        stopped_ = true;
+        return stats;
+      }
+    }
+    if (now_ < deadline) {
+      stats.observed_time += deadline - now_;
+      if (holder_count_ == 0) stats.zero_token_time += deadline - now_;
+      now_ = deadline;
+    }
+    if (stats.min_holders == std::numeric_limits<std::size_t>::max()) {
+      stats.min_holders = holder_count_;
+      stats.max_holders = std::max(stats.max_holders, holder_count_);
+    }
+    return stats;
+  }
+
+  P protocol_;
+  msgpass::NetworkParams params_;
+  ActiveFn active_;
+  Rng rng_;
+  msgpass::Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+
+  Config states_;
+  std::vector<std::vector<State>> caches_;   ///< caches_[i][k]
+  std::vector<std::vector<Link>> links_;     ///< links_[i][k]: i -> nbr k
+  std::vector<std::uint8_t> exec_pending_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::size_t holder_count_ = 0;
+};
+
+}  // namespace ssr::graph

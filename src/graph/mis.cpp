@@ -1,0 +1,137 @@
+#include "graph/mis.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ssr::graph {
+
+std::string to_string(MisStatus status) {
+  switch (status) {
+    case MisStatus::kOut:
+      return "OUT";
+    case MisStatus::kWait:
+      return "WAIT";
+    case MisStatus::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+TurauMis::TurauMis(Topology topology) : topology_(std::move(topology)) {}
+
+int TurauMis::enabled_rule(std::size_t i, const State& self,
+                           std::span<const State> neighbors) const {
+  const auto ids = topology_.neighbors(i);
+  SSR_REQUIRE(neighbors.size() == ids.size(), "neighbor vector size mismatch");
+  bool in_neighbor = false;
+  bool smaller_in_neighbor = false;
+  bool smaller_wait_neighbor = false;
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    if (neighbors[k].status == MisStatus::kIn) {
+      in_neighbor = true;
+      if (ids[k] < i) smaller_in_neighbor = true;
+    } else if (neighbors[k].status == MisStatus::kWait && ids[k] < i) {
+      smaller_wait_neighbor = true;
+    }
+  }
+  switch (self.status) {
+    case MisStatus::kWait:
+      if (in_neighbor) return kRuleRetreat;
+      if (!smaller_wait_neighbor) return kRuleCommit;
+      return kDisabled;
+    case MisStatus::kOut:
+      if (!in_neighbor) return kRuleVolunteer;
+      return kDisabled;
+    case MisStatus::kIn:
+      if (smaller_in_neighbor) return kRuleYield;
+      return kDisabled;
+  }
+  return kDisabled;
+}
+
+TurauMis::State TurauMis::apply(std::size_t i, int rule, const State& self,
+                                std::span<const State> neighbors) const {
+  SSR_REQUIRE(enabled_rule(i, self, neighbors) == rule,
+              "rule applied while not the enabled rule");
+  switch (rule) {
+    case kRuleRetreat:
+    case kRuleYield:
+      return State{MisStatus::kOut};
+    case kRuleVolunteer:
+      return State{MisStatus::kWait};
+    case kRuleCommit:
+      return State{MisStatus::kIn};
+    default:
+      SSR_REQUIRE(false, "unknown MIS rule id");
+  }
+}
+
+std::vector<std::size_t> mis_members(const MisConfig& config) {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (config[i].status == MisStatus::kIn) members.push_back(i);
+  }
+  return members;
+}
+
+bool is_independent(const Topology& topology, const MisConfig& config) {
+  SSR_REQUIRE(config.size() == topology.size(), "config/topology mismatch");
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (config[i].status != MisStatus::kIn) continue;
+    for (std::size_t j : topology.neighbors(i)) {
+      if (config[j].status == MisStatus::kIn) return false;
+    }
+  }
+  return true;
+}
+
+bool is_dominating(const Topology& topology, const MisConfig& config) {
+  SSR_REQUIRE(config.size() == topology.size(), "config/topology mismatch");
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    if (config[i].status == MisStatus::kIn) continue;
+    bool covered = false;
+    for (std::size_t j : topology.neighbors(i)) {
+      if (config[j].status == MisStatus::kIn) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_stable_mis(const Topology& topology, const MisConfig& config) {
+  for (const auto& s : config) {
+    if (s.status == MisStatus::kWait) return false;
+  }
+  return is_independent(topology, config) && is_dominating(topology, config);
+}
+
+bool local_inclusion_holds(const Topology& topology,
+                           const std::vector<bool>& active) {
+  SSR_REQUIRE(active.size() == topology.size(), "active/topology mismatch");
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i]) continue;
+    bool covered = false;
+    for (std::size_t j : topology.neighbors(i)) {
+      if (active[j]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+MisConfig random_config(const Topology& topology, Rng& rng) {
+  MisConfig config(topology.size());
+  for (auto& s : config) {
+    s.status = static_cast<MisStatus>(rng.below(3));
+  }
+  return config;
+}
+
+}  // namespace ssr::graph

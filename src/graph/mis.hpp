@@ -1,0 +1,90 @@
+// Self-stabilizing maximal independent set (after Turau 2007, which works
+// under the unfair distributed daemon) — the general-topology counterpart
+// of mutual inclusion. A maximal independent set is a *dominating* set,
+// so "be in the critical section iff you are in the MIS" solves the LOCAL
+// mutual inclusion problem (every closed neighborhood has an active node)
+// on arbitrary graphs, silently. The paper cites exactly this problem
+// family ([10], [14]) and names general topologies as future work (§6);
+// this module provides the static/silent end of the design space to
+// compare against SSRmin's rotating-token end (fair duty, ring-only).
+//
+// Local state: status in {OUT, WAIT, IN}. Rules (ids are distinct for
+// diagnosability; a node is enabled by at most one):
+//
+//   Rule 1 (retreat):  WAIT && (some neighbor IN)                -> OUT
+//   Rule 2 (volunteer):OUT  && (no neighbor IN)                  -> WAIT
+//   Rule 3 (commit):   WAIT && no neighbor IN
+//                           && no WAIT neighbor with smaller id  -> IN
+//   Rule 4 (yield):    IN   && (some IN neighbor with smaller id)-> OUT
+//
+// Stable (silent) configurations are exactly: no WAITs, the IN set is
+// independent, and every OUT node has an IN neighbor — i.e. a maximal
+// independent set. Verified exhaustively by the graph model checker
+// (tests/test_mis.cpp, bench_mis).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/protocol.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::graph {
+
+enum class MisStatus : std::uint8_t { kOut = 0, kWait = 1, kIn = 2 };
+
+struct MisState {
+  MisStatus status = MisStatus::kOut;
+  friend auto operator<=>(const MisState&, const MisState&) = default;
+};
+
+std::string to_string(MisStatus status);
+
+class TurauMis {
+ public:
+  using State = MisState;
+
+  static constexpr int kRuleRetreat = 1;
+  static constexpr int kRuleVolunteer = 2;
+  static constexpr int kRuleCommit = 3;
+  static constexpr int kRuleYield = 4;
+
+  explicit TurauMis(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+  std::size_t size() const { return topology_.size(); }
+
+  int enabled_rule(std::size_t i, const State& self,
+                   std::span<const State> neighbors) const;
+  State apply(std::size_t i, int rule, const State& self,
+              std::span<const State> neighbors) const;
+
+ private:
+  Topology topology_;
+};
+
+using MisConfig = std::vector<MisState>;
+
+/// Node ids currently IN.
+std::vector<std::size_t> mis_members(const MisConfig& config);
+
+/// No two IN nodes adjacent.
+bool is_independent(const Topology& topology, const MisConfig& config);
+
+/// Every node is IN or has an IN neighbor.
+bool is_dominating(const Topology& topology, const MisConfig& config);
+
+/// The silent legitimate predicate: no WAITs, independent, dominating.
+bool is_stable_mis(const Topology& topology, const MisConfig& config);
+
+/// The local mutual inclusion check on an arbitrary active-set: every
+/// closed neighborhood N[i] contains an active node.
+bool local_inclusion_holds(const Topology& topology,
+                           const std::vector<bool>& active);
+
+MisConfig random_config(const Topology& topology, Rng& rng);
+
+}  // namespace ssr::graph

@@ -1,0 +1,160 @@
+// Guarded-command protocols on general graphs. The ring framework
+// (stabilizing/protocol.hpp) fixes the neighborhood to {pred, succ}; here
+// a rule reads the whole (ordered) neighbor-state vector, which is the
+// state-reading model on arbitrary topologies. Used by the general-
+// topology extensions (the paper's §6 future work).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "stabilizing/daemon.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::graph {
+
+/// Sentinel rule id meaning "no guard holds".
+inline constexpr int kDisabled = 0;
+
+// clang-format off
+template <typename P>
+concept GraphProtocol = requires(const P p, std::size_t i,
+                                 const typename P::State& s,
+                                 std::span<const typename P::State> neigh) {
+  typename P::State;
+  requires std::equality_comparable<typename P::State>;
+  requires std::copyable<typename P::State>;
+  { p.topology() } -> std::convertible_to<const Topology&>;
+  /// Highest-priority enabled rule at node i; neighbor states are ordered
+  /// as topology().neighbors(i).
+  { p.enabled_rule(i, s, neigh) } -> std::convertible_to<int>;
+  { p.apply(i, int{}, s, neigh) } -> std::same_as<typename P::State>;
+};
+// clang-format on
+
+/// Composite-atomicity engine over a graph protocol (mirror of
+/// stab::Engine; reuses the ring daemons).
+template <GraphProtocol P>
+class GraphEngine {
+ public:
+  using State = typename P::State;
+  using Configuration = std::vector<State>;
+
+  GraphEngine(P protocol, Configuration initial)
+      : protocol_(std::move(protocol)), config_(std::move(initial)) {
+    SSR_REQUIRE(config_.size() == protocol_.topology().size(),
+                "configuration size must equal node count");
+  }
+
+  const P& protocol() const { return protocol_; }
+  const Configuration& config() const { return config_; }
+  std::size_t size() const { return config_.size(); }
+
+  void reset(Configuration c) {
+    SSR_REQUIRE(c.size() == config_.size(), "node count cannot change");
+    config_ = std::move(c);
+  }
+
+  void corrupt(std::size_t i, State s) {
+    SSR_REQUIRE(i < config_.size(), "node index out of range");
+    config_[i] = std::move(s);
+  }
+
+  int enabled_rule(std::size_t i) const {
+    gather(i, scratch_);
+    return protocol_.enabled_rule(i, config_[i], scratch_);
+  }
+
+  bool is_enabled(std::size_t i) const { return enabled_rule(i) != kDisabled; }
+
+  void enabled(std::vector<std::size_t>& indices,
+               std::vector<int>& rules) const {
+    indices.clear();
+    rules.clear();
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      const int r = enabled_rule(i);
+      if (r != kDisabled) {
+        indices.push_back(i);
+        rules.push_back(r);
+      }
+    }
+  }
+
+  std::vector<std::size_t> enabled_indices() const {
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    enabled(idx, rules);
+    return idx;
+  }
+
+  /// One composite-atomicity step at the selected (enabled) nodes.
+  std::vector<int> step(std::span<const std::size_t> selected) {
+    SSR_REQUIRE(!selected.empty(), "a step must move at least one node");
+    std::vector<std::pair<std::size_t, State>> writes;
+    std::vector<int> rules;
+    for (std::size_t i : selected) {
+      SSR_REQUIRE(i < config_.size(), "selected node out of range");
+      gather(i, scratch_);
+      const int rule = protocol_.enabled_rule(i, config_[i], scratch_);
+      SSR_REQUIRE(rule != kDisabled, "daemon selected a disabled node");
+      writes.emplace_back(i, protocol_.apply(i, rule, config_[i], scratch_));
+      rules.push_back(rule);
+    }
+    for (auto& [i, s] : writes) config_[i] = std::move(s);
+    ++steps_;
+    moves_ += selected.size();
+    return rules;
+  }
+
+  /// Daemon-driven step; returns false iff no node is enabled (for silent
+  /// algorithms this is the stabilized fixpoint, not an error).
+  bool step_with(stab::Daemon& daemon) {
+    enabled(scratch_indices_, scratch_rules_);
+    if (scratch_indices_.empty()) return false;
+    const stab::EnabledView view{scratch_indices_, scratch_rules_,
+                                 config_.size()};
+    const auto chosen = daemon.select(view);
+    SSR_REQUIRE(!chosen.empty(), "daemon returned an empty selection");
+    step(chosen);
+    return true;
+  }
+
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t moves() const { return moves_; }
+
+ private:
+  void gather(std::size_t i, std::vector<State>& out) const {
+    SSR_REQUIRE(i < config_.size(), "node index out of range");
+    const auto neigh = protocol_.topology().neighbors(i);
+    out.clear();
+    for (std::size_t j : neigh) out.push_back(config_[j]);
+  }
+
+  P protocol_;
+  Configuration config_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t moves_ = 0;
+  mutable std::vector<State> scratch_;
+  std::vector<std::size_t> scratch_indices_;
+  std::vector<int> scratch_rules_;
+};
+
+/// Runs until no node is enabled (silence) or the step budget is spent.
+/// Returns the steps consumed, or nullopt if the budget ran out first.
+template <GraphProtocol P>
+std::optional<std::uint64_t> run_to_silence(GraphEngine<P>& engine,
+                                            stab::Daemon& daemon,
+                                            std::uint64_t max_steps) {
+  const std::uint64_t start = engine.steps();
+  for (std::uint64_t t = 0; t <= max_steps; ++t) {
+    if (!engine.step_with(daemon)) return engine.steps() - start;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssr::graph

@@ -1,0 +1,119 @@
+// Synchronous-round execution of graph protocols over lossy broadcast —
+// exactly the setting of the paper's reference [17] (Turau & Weyer,
+// "Randomized self-stabilizing algorithms for wireless sensor networks"),
+// which studies silent algorithms like MIS under per-round randomized rule
+// firing with unreliable radio broadcast.
+//
+// Per round: (1) every node broadcasts its state; each (node, neighbor)
+// delivery is lost independently with probability `loss`, surviving
+// deliveries update the receiver's cache of that neighbor; (2) every node
+// whose rule is enabled on its cached view fires it with probability
+// `exec_probability`. All firings in a round are simultaneous.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/protocol.hpp"
+#include "msgpass/rounds.hpp"  // RoundParams
+#include "util/rng.hpp"
+
+namespace ssr::graph {
+
+template <GraphProtocol P>
+class GraphRoundSimulation {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+
+  GraphRoundSimulation(P protocol, Config initial, msgpass::RoundParams params)
+      : protocol_(std::move(protocol)),
+        params_(params),
+        rng_(params.seed),
+        states_(std::move(initial)) {
+    params_.validate();
+    SSR_REQUIRE(states_.size() == protocol_.topology().size(),
+                "configuration size must equal node count");
+    const std::size_t n = states_.size();
+    caches_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j : protocol_.topology().neighbors(i)) {
+        caches_[i].push_back(states_[j]);
+      }
+    }
+  }
+
+  std::size_t size() const { return states_.size(); }
+  std::uint64_t rounds() const { return rounds_; }
+  const Config& global_config() const { return states_; }
+
+  void randomize_caches(const std::function<State(Rng&)>& gen) {
+    for (auto& row : caches_) {
+      for (auto& s : row) s = gen(rng_);
+    }
+  }
+
+  bool coherent() const {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto neigh = protocol_.topology().neighbors(i);
+      for (std::size_t k = 0; k < neigh.size(); ++k) {
+        if (!(caches_[i][k] == states_[neigh[k]])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// One synchronous round; returns the number of rule firings.
+  std::size_t step() {
+    const std::size_t n = states_.size();
+    // Phase 1: lossy broadcast into the caches.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto neigh = protocol_.topology().neighbors(i);
+      for (std::size_t k = 0; k < neigh.size(); ++k) {
+        if (!rng_.bernoulli(params_.loss)) {
+          caches_[i][k] = states_[neigh[k]];
+        }
+      }
+    }
+    // Phase 2: simultaneous randomized firing on cached views.
+    std::vector<std::pair<std::size_t, State>> writes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int rule = protocol_.enabled_rule(i, states_[i], caches_[i]);
+      if (rule == kDisabled) continue;
+      if (!rng_.bernoulli(params_.exec_probability)) continue;
+      writes.emplace_back(i,
+                          protocol_.apply(i, rule, states_[i], caches_[i]));
+    }
+    for (auto& [i, s] : writes) states_[i] = std::move(s);
+    ++rounds_;
+    return writes.size();
+  }
+
+  /// Runs until predicate(global configuration) holds; nullopt if the
+  /// round budget runs out.
+  template <typename Predicate>
+  std::optional<std::uint64_t> run_until(Predicate&& predicate,
+                                         std::uint64_t max_rounds) {
+    const std::uint64_t start = rounds_;
+    for (std::uint64_t r = 0; r <= max_rounds; ++r) {
+      if (predicate(states_)) return rounds_ - start;
+      if (r == max_rounds) break;
+      step();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  P protocol_;
+  msgpass::RoundParams params_;
+  Rng rng_;
+  std::uint64_t rounds_ = 0;
+  Config states_;
+  /// caches_[i][k] = last received state of topology().neighbors(i)[k].
+  std::vector<std::vector<State>> caches_;
+};
+
+}  // namespace ssr::graph

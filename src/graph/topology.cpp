@@ -1,0 +1,120 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ssr::graph {
+
+Topology::Topology(std::size_t n) : adjacency_(n) {
+  SSR_REQUIRE(n >= 1, "graph needs at least one node");
+}
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  SSR_REQUIRE(a < adjacency_.size() && b < adjacency_.size(),
+              "edge endpoint out of range");
+  SSR_REQUIRE(a != b, "self-loops are not allowed");
+  if (has_edge(a, b)) return;
+  adjacency_[a].insert(
+      std::lower_bound(adjacency_[a].begin(), adjacency_[a].end(), b), b);
+  adjacency_[b].insert(
+      std::lower_bound(adjacency_[b].begin(), adjacency_[b].end(), a), a);
+  edges_ += 2;
+}
+
+bool Topology::has_edge(std::size_t a, std::size_t b) const {
+  SSR_REQUIRE(a < adjacency_.size() && b < adjacency_.size(),
+              "edge endpoint out of range");
+  return std::binary_search(adjacency_[a].begin(), adjacency_[a].end(), b);
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+bool Topology::connected() const {
+  const std::size_t n = adjacency_.size();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::size_t> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+Topology Topology::ring(std::size_t n) {
+  SSR_REQUIRE(n >= 3, "ring needs at least three nodes");
+  Topology g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Topology Topology::path(std::size_t n) {
+  SSR_REQUIRE(n >= 2, "path needs at least two nodes");
+  Topology g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Topology Topology::star(std::size_t n) {
+  SSR_REQUIRE(n >= 2, "star needs at least two nodes");
+  Topology g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Topology Topology::complete(std::size_t n) {
+  SSR_REQUIRE(n >= 2, "complete graph needs at least two nodes");
+  Topology g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols) {
+  SSR_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  Topology g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Topology Topology::random_connected(std::size_t n, double p, Rng& rng) {
+  SSR_REQUIRE(n >= 2, "need at least two nodes");
+  SSR_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Topology g(n);
+  // Random spanning tree: connect each node to a uniformly random earlier
+  // node, over a random permutation.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t parent = order[rng.below(k)];
+    g.add_edge(order[k], parent);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!g.has_edge(i, j) && rng.bernoulli(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace ssr::graph

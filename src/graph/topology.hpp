@@ -1,0 +1,56 @@
+// General network topologies — the substrate for the paper's stated
+// future work ("design of a self-stabilizing mutual inclusion algorithm
+// ... for general network topology", §6). Undirected simple graphs with
+// stable adjacency lists; rings, paths, stars, complete graphs and random
+// connected graphs as constructors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::graph {
+
+/// Undirected simple graph with n nodes (0..n-1).
+class Topology {
+ public:
+  explicit Topology(std::size_t n);
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_ / 2; }
+
+  /// Adds the undirected edge {a, b}. Idempotent; rejects self-loops.
+  void add_edge(std::size_t a, std::size_t b);
+
+  bool has_edge(std::size_t a, std::size_t b) const;
+
+  /// Sorted neighbor ids of node i.
+  std::span<const std::size_t> neighbors(std::size_t i) const {
+    SSR_REQUIRE(i < adjacency_.size(), "node index out of range");
+    return adjacency_[i];
+  }
+
+  std::size_t degree(std::size_t i) const { return neighbors(i).size(); }
+  std::size_t max_degree() const;
+
+  bool connected() const;
+
+  // --- constructors for standard families ---------------------------------
+  static Topology ring(std::size_t n);
+  static Topology path(std::size_t n);
+  static Topology star(std::size_t n);  ///< node 0 is the hub
+  static Topology complete(std::size_t n);
+  static Topology grid(std::size_t rows, std::size_t cols);
+  /// Connected random graph: a random spanning tree plus each remaining
+  /// edge independently with probability p.
+  static Topology random_connected(std::size_t n, double p, Rng& rng);
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;  // directed count (2x undirected)
+};
+
+}  // namespace ssr::graph

@@ -1,0 +1,42 @@
+#include "inclusion/critical_section.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ssr::incl {
+
+std::string CriticalSectionSpec::to_string() const {
+  std::ostringstream os;
+  os << '(' << min_in_cs << ", " << max_in_cs << ")-critical-section";
+  return os.str();
+}
+
+CriticalSectionSpec mutual_exclusion_spec() { return {0, 1}; }
+
+CriticalSectionSpec mutual_inclusion_spec(std::size_t n) {
+  SSR_REQUIRE(n >= 1, "mutual inclusion needs at least one process");
+  return {1, n};
+}
+
+CriticalSectionSpec ssrmin_spec() { return {1, 2}; }
+
+void SpecMonitor::observe(std::size_t in_cs) {
+  ++observations_;
+  if (in_cs < spec_.min_in_cs) ++below_;
+  if (in_cs > spec_.max_in_cs) ++above_;
+}
+
+void SpecMonitor::observe_interval(double dt, std::size_t in_cs) {
+  SSR_REQUIRE(dt >= 0.0, "interval duration must be non-negative");
+  observe(in_cs);
+  total_time_ += dt;
+  if (!spec_.satisfied_by(in_cs)) violation_time_ += dt;
+}
+
+double SpecMonitor::compliance() const {
+  if (total_time_ <= 0.0) return 1.0;
+  return 1.0 - violation_time_ / total_time_;
+}
+
+}  // namespace ssr::incl

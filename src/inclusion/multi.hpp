@@ -1,0 +1,82 @@
+// Multi-instance SSRmin — the (l, k)-critical-section family (paper §1.2,
+// Kakugawa 2015). Running k independent SSRmin instances on the same ring
+// yields, after stabilization, at least k and at most 2k privileged
+// process slots at any time (instances may overlap at a node). Each
+// instance keeps its own graceful-handover guarantee, so the composition
+// provides *redundant* continuous coverage: at any instant at least k
+// token-holding roles exist — the "at least two cameras recording"
+// requirement a safety-critical deployment would add.
+//
+// Composition semantics: the node state is the vector of its per-instance
+// states; a node is enabled iff any instance enables it, and a move fires
+// every enabled instance's rule simultaneously (one atomic step of the
+// physical node serving all protocol stacks — same convention as
+// dijkstra::DualKStateRing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "stabilizing/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::incl {
+
+/// Per-node state: one SsrState per instance.
+struct MultiState {
+  std::vector<core::SsrState> slots;
+  friend bool operator==(const MultiState&, const MultiState&) = default;
+};
+
+class MultiSsrMin {
+ public:
+  using State = MultiState;
+
+  /// The single composite rule id ("fire every enabled instance").
+  static constexpr int kRuleComposite = 1;
+
+  MultiSsrMin(std::size_t n, std::uint32_t K, std::size_t instances);
+
+  std::size_t size() const { return ring_.size(); }
+  std::uint32_t modulus() const { return ring_.modulus(); }
+  std::size_t instances() const { return instances_; }
+  const core::SsrMinRing& base() const { return ring_; }
+
+  int enabled_rule(std::size_t i, const State& self, const State& pred,
+                   const State& succ) const;
+  State apply(std::size_t i, int rule, const State& self, const State& pred,
+              const State& succ) const;
+
+  /// Number of instances whose token (primary or secondary) node i holds.
+  std::size_t tokens_at(std::size_t i, const State& self, const State& pred,
+                        const State& succ) const;
+
+ private:
+  void check_state(const State& s) const;
+
+  core::SsrMinRing ring_;
+  std::size_t instances_;
+};
+
+using MultiConfig = std::vector<MultiState>;
+
+/// Total privileged slots (summed over instances; a node holding tokens of
+/// two instances counts twice).
+std::size_t privileged_slots(const MultiSsrMin& ring, const MultiConfig& c);
+
+/// Number of nodes holding at least one instance's token.
+std::size_t privileged_nodes(const MultiSsrMin& ring, const MultiConfig& c);
+
+/// Legitimate iff every instance's projection is legitimate (Def. 1).
+bool is_legitimate(const MultiSsrMin& ring, const MultiConfig& c);
+
+/// Canonical start: instance j begins in its canonical legitimate
+/// configuration rotated j * n / instances positions around the ring, so
+/// the tokens start evenly spaced.
+MultiConfig staggered_legitimate(const MultiSsrMin& ring);
+
+MultiConfig random_config(const MultiSsrMin& ring, Rng& rng);
+
+}  // namespace ssr::incl

@@ -1,0 +1,488 @@
+// Message-passing execution via the cached sensornet transform (CST,
+// paper Algorithm 4, after Herman 2003) on a discrete-event network
+// simulator.
+//
+// Each node v_i runs the untouched state-reading protocol against a local
+// *cache* Z_i[v_k] of each neighbor's state. Whenever v_i receives a
+// neighbor's state it updates the cache, executes (at most) one enabled
+// rule, and broadcasts its own state to both neighbors; a periodic timer
+// also rebroadcasts the state so lost messages are eventually repaired.
+//
+// The network model follows paper §5 ¶1: each directed link carries at most
+// one message at a time. A send onto a busy link parks the *latest* state
+// as pending and transmits it the moment the link frees (a node
+// broadcasting its current state never needs to queue more than the newest
+// value). Message loss (for Lemma 9 / Theorem 4) is decided per
+// transmission with a uniform probability; a lost message still occupies
+// the link for its transit time.
+//
+// Token accounting is the heart of the model-gap experiments (Figs. 11-13,
+// Theorem 3): a node holds a token according to the protocol's token
+// predicate evaluated on its *local view* (own state + caches), because
+// that is the information an implementation would use to decide whether it
+// may be active. The simulation integrates, over simulated time, how long
+// the system spends with zero / one / two token holders.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::msgpass {
+
+/// Simulated time, in abstract ticks.
+using Time = double;
+
+/// Shape of the per-message transit delay distribution.
+enum class DelayModel : std::uint8_t {
+  /// Uniform in [delay_min, delay_max] — bounded, the regime Theorem 3's
+  /// proof describes.
+  kUniform,
+  /// delay_min + Exponential(mean = (delay_max - delay_min)) — unbounded
+  /// tail. Used to probe the freshness boundary of the graceful-handover
+  /// guarantee (finding F1 / experiment E22): a single message outliving a
+  /// whole handshake cycle lets a stale acknowledgment trigger Rule 2
+  /// early.
+  kExponentialTail,
+};
+
+/// Tunable network parameters.
+struct NetworkParams {
+  /// Per-message transit delay (see DelayModel).
+  double delay_min = 0.5;
+  double delay_max = 1.5;
+  DelayModel delay_model = DelayModel::kUniform;
+  /// Probability that any single transmission is lost.
+  double loss_probability = 0.0;
+  /// Probability that a delivered message is delivered a second time after
+  /// an extra transit delay (the duplication fault of paper §2.2; state
+  /// messages are idempotent, so duplication must be harmless).
+  double duplicate_probability = 0.0;
+  /// Period of the CST refresh timer (Algorithm 4 line 11).
+  double refresh_interval = 8.0;
+  /// Critical-section service time: once a rule becomes enabled, the node
+  /// executes it after a uniform delay in [service_min, service_max]. This
+  /// is the time a privileged node actually spends doing its privileged
+  /// work (monitoring, in the camera application) before moving on — with
+  /// instantaneous execution a Dijkstra token would be held for zero
+  /// simulated time and coverage comparisons would be meaningless.
+  double service_min = 0.5;
+  double service_max = 1.0;
+  /// RNG seed for delays, losses and timer jitter.
+  std::uint64_t seed = 1;
+
+  void validate() const;
+
+  /// Draws one transit delay according to the configured model.
+  double draw_delay(Rng& rng) const;
+};
+
+/// Aggregate results of a simulation window.
+struct CoverageStats {
+  Time observed_time = 0.0;     ///< simulated time integrated
+  Time zero_token_time = 0.0;   ///< time with no token-holding node
+  std::size_t zero_intervals = 0;  ///< maximal intervals with zero holders
+  std::size_t min_holders = std::numeric_limits<std::size_t>::max();
+  std::size_t max_holders = 0;
+  std::uint64_t events = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t rule_executions = 0;
+  /// Number of times the set of token-holding nodes changed.
+  std::uint64_t handovers = 0;
+
+  /// Fraction of observed time with at least one holder (the paper's
+  /// continuous-observation guarantee).
+  double coverage() const {
+    return observed_time > 0.0 ? 1.0 - zero_token_time / observed_time : 1.0;
+  }
+};
+
+/// CST execution of a RingProtocol over the event-driven network.
+template <stab::RingProtocol P>
+class CstSimulation {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+  /// Token predicate on a node's local view: (i, self, pred_view,
+  /// succ_view) -> holds a token.
+  using TokenFn =
+      std::function<bool(std::size_t, const State&, const State&, const State&)>;
+
+  CstSimulation(P protocol, Config initial, TokenFn token, NetworkParams params)
+      : protocol_(std::move(protocol)),
+        params_(params),
+        token_(std::move(token)),
+        rng_(params.seed),
+        states_(std::move(initial)),
+        caches_(states_.size()),
+        links_(states_.size()),
+        exec_pending_(states_.size(), 0) {
+    params_.validate();
+    SSR_REQUIRE(states_.size() == protocol_.size(),
+                "configuration size must equal ring size");
+    SSR_REQUIRE(states_.size() >= 2, "ring needs at least two processes");
+    make_caches_coherent();
+    schedule_initial_timers();
+    for (std::size_t i = 0; i < states_.size(); ++i)
+      maybe_schedule_execution(i);
+    holders_ = compute_holders();
+    holder_count_ = count_holders(holders_);
+  }
+
+  std::size_t size() const { return states_.size(); }
+  Time now() const { return now_; }
+  const P& protocol() const { return protocol_; }
+
+  /// True state of node i (omniscient view).
+  const State& node_state(std::size_t i) const { return states_.at(i); }
+
+  /// Node i's cached view of its predecessor / successor.
+  const State& cache_pred(std::size_t i) const { return caches_.at(i).pred; }
+  const State& cache_succ(std::size_t i) const { return caches_.at(i).succ; }
+
+  Config global_config() const { return states_; }
+
+  /// Definition 2: every cache equals the neighbor's current state.
+  bool coherent() const {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(caches_[i].pred == states_[stab::pred_index(i, n)])) return false;
+      if (!(caches_[i].succ == states_[stab::succ_index(i, n)])) return false;
+    }
+    return true;
+  }
+
+  /// Resets every cache to the neighbor's true state (the "legitimate
+  /// configuration with cache-coherence" hypothesis of Theorem 3).
+  void make_caches_coherent() {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      caches_[i].pred = states_[stab::pred_index(i, n)];
+      caches_[i].succ = states_[stab::succ_index(i, n)];
+    }
+  }
+
+  /// Fills every cache with an arbitrary state produced by @p gen (the
+  /// "arbitrary cache values" hypothesis of Lemma 9 — bad incoherence).
+  void randomize_caches(const std::function<State(Rng&)>& gen) {
+    for (auto& c : caches_) {
+      c.pred = gen(rng_);
+      c.succ = gen(rng_);
+    }
+    holders_ = compute_holders();
+    holder_count_ = count_holders(holders_);
+  }
+
+  /// Per-node token holding, each node judging from its local view.
+  std::vector<bool> token_view() const { return compute_holders(); }
+  std::size_t holder_count() const { return holder_count_; }
+
+  /// Observer invoked once per inter-event interval [from, to) with the
+  /// holder set that was in force throughout it. Gives application layers
+  /// (e.g. the camera-energy model) an exact time integration of who was
+  /// active when.
+  using IntervalObserver =
+      std::function<void(Time from, Time to, const std::vector<bool>& holders)>;
+  void set_observer(IntervalObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Runs until simulated time advances by @p duration, accumulating
+  /// coverage statistics for the window.
+  CoverageStats run(Time duration) {
+    return run_impl(now_ + duration, [](const CstSimulation&) { return false; });
+  }
+
+  /// Runs until @p stop(*this) holds (checked after every event) or the
+  /// deadline passes. Returns the stats; stopped_early tells which.
+  template <typename StopFn>
+  CoverageStats run_until(StopFn&& stop, Time deadline, bool* stopped_early) {
+    CoverageStats s = run_impl(deadline, std::forward<StopFn>(stop));
+    if (stopped_early != nullptr) *stopped_early = stopped_;
+    return s;
+  }
+
+ private:
+  struct Caches {
+    State pred{};
+    State succ{};
+  };
+
+  /// Direction of an outgoing link.
+  enum class Dir : std::uint8_t { kToPred = 0, kToSucc = 1 };
+
+  struct Link {
+    bool busy = false;
+    std::optional<State> pending;  ///< newest state waiting for the link
+  };
+
+  struct Event {
+    Time time = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
+    enum class Kind : std::uint8_t { kDelivery, kTimer, kExecute } kind =
+        Kind::kTimer;
+    std::size_t node = 0;  ///< receiver (delivery) or owner (timer)
+    std::size_t sender = 0;
+    Dir dir = Dir::kToPred;  ///< direction the message travelled
+    State payload{};
+    bool lost = false;
+    bool duplicate = false;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::size_t neighbor(std::size_t i, Dir d) const {
+    const std::size_t n = states_.size();
+    return d == Dir::kToPred ? stab::pred_index(i, n) : stab::succ_index(i, n);
+  }
+
+  Link& link(std::size_t i, Dir d) {
+    return links_[i][static_cast<std::size_t>(d)];
+  }
+
+  void schedule_initial_timers() {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      push_timer(i, rng_.uniform01() * params_.refresh_interval);
+    }
+  }
+
+  void push_timer(std::size_t i, Time at) {
+    Event e;
+    e.time = at;
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kTimer;
+    e.node = i;
+    queue_.push(std::move(e));
+  }
+
+  /// Starts a transmission of node i's current state along direction d, or
+  /// parks it as pending if the link is occupied (overwriting any older
+  /// pending value — only the newest state matters).
+  void send(std::size_t i, Dir d) {
+    Link& l = link(i, d);
+    if (l.busy) {
+      l.pending = states_[i];
+      return;
+    }
+    transmit(i, d, states_[i]);
+  }
+
+  void transmit(std::size_t i, Dir d, const State& payload) {
+    Link& l = link(i, d);
+    l.busy = true;
+    Event e;
+    e.time = now_ + params_.draw_delay(rng_);
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kDelivery;
+    e.node = neighbor(i, d);
+    e.sender = i;
+    e.dir = d;
+    e.payload = payload;
+    e.lost = rng_.bernoulli(params_.loss_probability);
+    queue_.push(std::move(e));
+  }
+
+  /// Algorithm 4 "on receipt": cache update, one rule execution, broadcast.
+  void handle_delivery(const Event& e, CoverageStats& stats) {
+    ++stats.deliveries;
+    if (!e.duplicate) {
+      // The transmission completed: free the link and flush any parked
+      // state. (A duplicate is a ghost copy; it never occupied the link.)
+      Link& l = link(e.sender, e.dir);
+      SSR_ASSERT(l.busy, "delivery on an idle link");
+      l.busy = false;
+      if (l.pending.has_value()) {
+        State parked = *l.pending;
+        l.pending.reset();
+        transmit(e.sender, e.dir, parked);
+      }
+    }
+    if (e.lost) {
+      ++stats.losses;
+      return;
+    }
+    // Duplication fault: replay this delivery once more after a fresh
+    // delay. Duplicates can themselves not duplicate (one replay max).
+    if (!e.duplicate && rng_.bernoulli(params_.duplicate_probability)) {
+      Event ghost = e;
+      ghost.duplicate = true;
+      ghost.seq = next_seq_++;
+      ghost.time = now_ + params_.draw_delay(rng_);
+      queue_.push(std::move(ghost));
+    }
+    const std::size_t i = e.node;
+    // The message came from our predecessor iff the sender sent toward its
+    // successor.
+    if (e.dir == Dir::kToSucc) {
+      caches_[i].pred = e.payload;
+    } else {
+      caches_[i].succ = e.payload;
+    }
+    maybe_schedule_execution(i);
+    send(i, Dir::kToPred);
+    send(i, Dir::kToSucc);
+  }
+
+  /// If a rule is enabled at node i and no execution is already pending,
+  /// schedule one after the service (critical-section occupancy) delay.
+  void maybe_schedule_execution(std::size_t i) {
+    if (exec_pending_[i]) return;
+    const int rule = protocol_.enabled_rule(i, states_[i], caches_[i].pred,
+                                            caches_[i].succ);
+    if (rule == stab::kDisabled) return;
+    exec_pending_[i] = true;
+    const double service =
+        params_.service_min +
+        rng_.uniform01() * (params_.service_max - params_.service_min);
+    Event e;
+    e.time = now_ + service;
+    e.seq = next_seq_++;
+    e.kind = Event::Kind::kExecute;
+    e.node = i;
+    queue_.push(std::move(e));
+  }
+
+  /// The deferred rule execution: re-evaluate against the current caches
+  /// (they may have changed during the service window), apply, broadcast,
+  /// and re-arm if the node is still enabled.
+  void handle_execute(const Event& e, CoverageStats& stats) {
+    const std::size_t i = e.node;
+    SSR_ASSERT(exec_pending_[i], "execute event without a pending flag");
+    exec_pending_[i] = false;
+    const int rule = protocol_.enabled_rule(i, states_[i], caches_[i].pred,
+                                            caches_[i].succ);
+    if (rule == stab::kDisabled) return;
+    states_[i] =
+        protocol_.apply(i, rule, states_[i], caches_[i].pred, caches_[i].succ);
+    ++stats.rule_executions;
+    send(i, Dir::kToPred);
+    send(i, Dir::kToSucc);
+    // Convergence rules can chain (e.g. Rule 5 then Rule 3) without any
+    // further message arriving; keep the node scheduled while enabled.
+    maybe_schedule_execution(i);
+  }
+
+  void handle_timer(const Event& e) {
+    send(e.node, Dir::kToPred);
+    send(e.node, Dir::kToSucc);
+    // Mild jitter avoids artificial lock-step among the nodes' timers.
+    const double jitter = 0.9 + 0.2 * rng_.uniform01();
+    push_timer(e.node, now_ + params_.refresh_interval * jitter);
+  }
+
+  std::vector<bool> compute_holders() const {
+    const std::size_t n = states_.size();
+    std::vector<bool> holders(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      holders[i] = token_(i, states_[i], caches_[i].pred, caches_[i].succ);
+    }
+    return holders;
+  }
+
+  static std::size_t count_holders(const std::vector<bool>& h) {
+    std::size_t c = 0;
+    for (bool b : h)
+      if (b) ++c;
+    return c;
+  }
+
+  template <typename StopFn>
+  CoverageStats run_impl(Time deadline, StopFn&& stop) {
+    CoverageStats stats;
+    stopped_ = false;
+    bool in_zero_interval = (holder_count_ == 0);
+    if (stop(*this)) {
+      stopped_ = true;
+      return stats;
+    }
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      const Event e = queue_.top();
+      queue_.pop();
+      // Integrate the (constant) holder count over [now_, e.time).
+      const Time dt = e.time - now_;
+      SSR_ASSERT(dt >= 0.0, "event queue went backwards in time");
+      stats.observed_time += dt;
+      if (holder_count_ == 0) stats.zero_token_time += dt;
+      if (observer_ && dt > 0.0) observer_(now_, e.time, holders_);
+      now_ = e.time;
+
+      switch (e.kind) {
+        case Event::Kind::kDelivery:
+          handle_delivery(e, stats);
+          break;
+        case Event::Kind::kTimer:
+          handle_timer(e);
+          break;
+        case Event::Kind::kExecute:
+          handle_execute(e, stats);
+          break;
+      }
+      ++stats.events;
+
+      // Refresh the holder view; record extinction intervals and handovers.
+      std::vector<bool> holders = compute_holders();
+      const std::size_t count = count_holders(holders);
+      if (holders != holders_) ++stats.handovers;
+      if (count == 0 && !in_zero_interval) {
+        ++stats.zero_intervals;
+        in_zero_interval = true;
+      } else if (count > 0) {
+        in_zero_interval = false;
+      }
+      stats.min_holders = std::min(stats.min_holders, count);
+      stats.max_holders = std::max(stats.max_holders, count);
+      holders_ = std::move(holders);
+      holder_count_ = count;
+
+      if (stop(*this)) {
+        stopped_ = true;
+        return stats;
+      }
+    }
+    // Advance the clock to the deadline even if the queue ran dry early.
+    if (now_ < deadline) {
+      const Time dt = deadline - now_;
+      stats.observed_time += dt;
+      if (holder_count_ == 0) stats.zero_token_time += dt;
+      if (observer_ && dt > 0.0) observer_(now_, deadline, holders_);
+      now_ = deadline;
+    }
+    if (stats.min_holders == std::numeric_limits<std::size_t>::max()) {
+      stats.min_holders = holder_count_;
+      stats.max_holders = std::max(stats.max_holders, holder_count_);
+    }
+    return stats;
+  }
+
+  P protocol_;
+  NetworkParams params_;
+  TokenFn token_;
+  IntervalObserver observer_;
+  Rng rng_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+
+  Config states_;
+  std::vector<Caches> caches_;
+  std::vector<std::array<Link, 2>> links_;
+  std::vector<std::uint8_t> exec_pending_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+
+  std::vector<bool> holders_;
+  std::size_t holder_count_ = 0;
+};
+
+}  // namespace ssr::msgpass

@@ -1,0 +1,58 @@
+// Ready-made CST simulations for the protocols in this library, each wired
+// with its local-view token predicate.
+#pragma once
+
+#include "core/ssrmin.hpp"
+#include "dijkstra/dual.hpp"
+#include "dijkstra/kstate.hpp"
+#include "msgpass/cst.hpp"
+#include "msgpass/rounds.hpp"
+
+namespace ssr::msgpass {
+
+/// SSRmin in the synchronous-round model ([17]-style execution) with its
+/// full token predicate.
+RoundSimulation<core::SsrMinRing> make_ssrmin_rounds(
+    const core::SsrMinRing& ring, core::SsrConfig initial, RoundParams params);
+
+/// Dijkstra's ring in the synchronous-round model.
+RoundSimulation<dijkstra::KStateRing> make_kstate_rounds(
+    const dijkstra::KStateRing& ring, dijkstra::KStateConfig initial,
+    RoundParams params);
+
+/// SSRmin under CST (the model-gap-tolerant algorithm, Theorem 3). A node
+/// holds a token iff it holds the primary or the secondary token as judged
+/// from its own state and neighbor caches.
+CstSimulation<core::SsrMinRing> make_ssrmin_cst(const core::SsrMinRing& ring,
+                                                core::SsrConfig initial,
+                                                NetworkParams params);
+
+/// SSRmin under CST with the *weak* (tra-only) secondary-token condition
+/// the paper rejects in §3.1. The protocol dynamics are identical; only
+/// the per-node token predicate changes. Used by the E14 ablation.
+CstSimulation<core::SsrMinRing> make_ssrmin_weak_cst(
+    const core::SsrMinRing& ring, core::SsrConfig initial,
+    NetworkParams params);
+
+/// SSRmin under CST counting ONLY the secondary token (strong or weak
+/// condition). Measures the paper's "the secondary token extincts"
+/// argument directly: with the strong condition the secondary token exists
+/// at every instant; with the weak one it disappears whenever the two
+/// tokens are co-located.
+CstSimulation<core::SsrMinRing> make_ssrmin_secondary_only_cst(
+    const core::SsrMinRing& ring, core::SsrConfig initial,
+    NetworkParams params, bool strong_condition);
+
+/// Dijkstra's K-state ring under CST (Figure 11: exhibits token
+/// extinction windows in the message-passing model).
+CstSimulation<dijkstra::KStateRing> make_kstate_cst(
+    const dijkstra::KStateRing& ring, dijkstra::KStateConfig initial,
+    NetworkParams params);
+
+/// Two independent Dijkstra instances under CST (Figure 12: still reaches
+/// zero-token instants when both tokens are in flight simultaneously).
+CstSimulation<dijkstra::DualKStateRing> make_dual_cst(
+    const dijkstra::DualKStateRing& ring, dijkstra::DualConfig initial,
+    NetworkParams params);
+
+}  // namespace ssr::msgpass

@@ -1,0 +1,165 @@
+// Synchronous-round execution model — the WSN-style transformed execution
+// studied by Turau & Weyer (paper reference [17]) and the round-based
+// transformation schemes the paper surveys ([5, 7, 16]).
+//
+// Time advances in rounds. In every round:
+//   1. every node broadcasts its current state to both neighbors; each
+//      individual message is lost independently with probability `loss`;
+//      surviving messages update the receivers' caches at the round edge;
+//   2. every node evaluates its (single, prioritized) enabled rule on its
+//      local view (own state + caches) and executes it with probability
+//      `exec_probability` — the randomized-execution device of [17] that
+//      breaks the lock-step symmetry a synchronous schedule would
+//      otherwise impose.
+//
+// All executions within a round are simultaneous (composite atomicity with
+// cached reads). With loss = 0 and exec_probability = 1 and coherent
+// caches this degenerates to the synchronous distributed daemon of the
+// state-reading model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::msgpass {
+
+struct RoundParams {
+  /// Per-message loss probability.
+  double loss = 0.0;
+  /// Probability that an enabled node executes its rule this round.
+  double exec_probability = 1.0;
+  std::uint64_t seed = 1;
+
+  void validate() const {
+    SSR_REQUIRE(loss >= 0.0 && loss < 1.0, "loss must be in [0, 1)");
+    SSR_REQUIRE(exec_probability > 0.0 && exec_probability <= 1.0,
+                "exec probability must be in (0, 1]");
+  }
+};
+
+template <stab::RingProtocol P>
+class RoundSimulation {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+  using TokenFn =
+      std::function<bool(std::size_t, const State&, const State&, const State&)>;
+
+  RoundSimulation(P protocol, Config initial, TokenFn token,
+                  RoundParams params)
+      : protocol_(std::move(protocol)),
+        params_(params),
+        token_(std::move(token)),
+        rng_(params.seed),
+        states_(std::move(initial)),
+        cache_pred_(states_.size()),
+        cache_succ_(states_.size()) {
+    params_.validate();
+    SSR_REQUIRE(states_.size() == protocol_.size(),
+                "configuration size must equal ring size");
+    make_caches_coherent();
+  }
+
+  std::size_t size() const { return states_.size(); }
+  std::uint64_t rounds() const { return rounds_; }
+  const Config& global_config() const { return states_; }
+  const State& cache_pred(std::size_t i) const { return cache_pred_.at(i); }
+  const State& cache_succ(std::size_t i) const { return cache_succ_.at(i); }
+
+  void make_caches_coherent() {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      cache_pred_[i] = states_[stab::pred_index(i, n)];
+      cache_succ_[i] = states_[stab::succ_index(i, n)];
+    }
+  }
+
+  void randomize_caches(const std::function<State(Rng&)>& gen) {
+    for (auto& s : cache_pred_) s = gen(rng_);
+    for (auto& s : cache_succ_) s = gen(rng_);
+  }
+
+  bool coherent() const {
+    const std::size_t n = states_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(cache_pred_[i] == states_[stab::pred_index(i, n)])) return false;
+      if (!(cache_succ_[i] == states_[stab::succ_index(i, n)])) return false;
+    }
+    return true;
+  }
+
+  /// Number of nodes holding a token by their local view.
+  std::size_t holder_count() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (token_(i, states_[i], cache_pred_[i], cache_succ_[i])) ++count;
+    }
+    return count;
+  }
+
+  /// Executes one synchronous round; returns the number of rule
+  /// executions it performed.
+  std::size_t step() {
+    const std::size_t n = states_.size();
+    // Phase 1: broadcast (reads pre-round states, writes caches).
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t p = stab::pred_index(i, n);
+      const std::size_t s = stab::succ_index(i, n);
+      // i -> successor (arrives as the successor's pred cache)
+      if (!rng_.bernoulli(params_.loss)) cache_pred_[s] = states_[i];
+      // i -> predecessor
+      if (!rng_.bernoulli(params_.loss)) cache_succ_[p] = states_[i];
+    }
+    // Phase 2: simultaneous rule execution on local views.
+    std::vector<std::pair<std::size_t, State>> writes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int rule =
+          protocol_.enabled_rule(i, states_[i], cache_pred_[i], cache_succ_[i]);
+      if (rule == stab::kDisabled) continue;
+      if (!rng_.bernoulli(params_.exec_probability)) continue;
+      writes.emplace_back(
+          i, protocol_.apply(i, rule, states_[i], cache_pred_[i],
+                             cache_succ_[i]));
+    }
+    for (auto& [i, s] : writes) states_[i] = std::move(s);
+    ++rounds_;
+    return writes.size();
+  }
+
+  /// Runs until predicate(global configuration) holds, or the round budget
+  /// is exhausted. Returns the rounds consumed on success. Caches are
+  /// deliberately not part of the condition: after any round that executed
+  /// a rule they lag the new states by one broadcast phase, and the next
+  /// round's phase 1 repairs them (modulo loss), so cache state is an
+  /// intra-round detail here — unlike in the event-driven CST model.
+  template <typename Predicate>
+  std::optional<std::uint64_t> run_until(Predicate&& predicate,
+                                         std::uint64_t max_rounds) {
+    const std::uint64_t start = rounds_;
+    for (std::uint64_t r = 0; r <= max_rounds; ++r) {
+      if (predicate(states_)) return rounds_ - start;
+      if (r == max_rounds) break;
+      step();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  P protocol_;
+  RoundParams params_;
+  TokenFn token_;
+  Rng rng_;
+  std::uint64_t rounds_ = 0;
+
+  Config states_;
+  Config cache_pred_;
+  Config cache_succ_;
+};
+
+}  // namespace ssr::msgpass

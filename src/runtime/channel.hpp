@@ -1,0 +1,81 @@
+// Bounded multi-producer single-consumer channel used as the message link
+// between node threads in the threaded runtime. Blocking pop with timeout
+// (the CST refresh timer is implemented as the pop timeout); non-blocking
+// push that drops the oldest message on overflow — a full inbox on a sensor
+// node loses the *stalest* state update, which is the faithful behavior for
+// a protocol whose messages carry full state (only the newest matters).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/assert.hpp"
+
+namespace ssr::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    SSR_REQUIRE(capacity > 0, "channel capacity must be positive");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a message. If the channel is full the oldest message is
+  /// discarded. Returns false iff the channel is closed.
+  bool push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      if (queue_.size() == capacity_) queue_.pop_front();
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues one message, waiting up to @p timeout. Returns nullopt on
+  /// timeout or when the channel is closed and drained.
+  std::optional<T> pop(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then return
+  /// nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ssr::runtime

@@ -1,0 +1,366 @@
+// Real-thread execution of a ring protocol under the CST discipline: one
+// std::jthread per node, bounded channels as links, the pop timeout as the
+// refresh timer. This is the "wireless sensor node" substitute — message
+// transmission takes real (scheduler-dependent) time, so the model gap the
+// paper analyzes in §5 exists physically here, not just in simulation.
+//
+// Concurrency design (per the CP.* Core Guidelines rules):
+//  * each node's protocol state and caches are owned exclusively by its
+//    thread — never shared;
+//  * cross-thread communication is only (a) latest-value mailboxes and
+//    (b) a per-node atomic "holds a token" bit plus a global version
+//    counter used for optimistic consistent snapshots;
+//  * a node publishes its token bit *before* sending the state update that
+//    could cause a neighbor to act on it. This ordering is what makes
+//    SSRmin's graceful-handover guarantee hold for real samplers: the old
+//    holder only clears its bit after observing an acknowledgment whose
+//    sender had already set its own bit.
+//
+// Why latest-value mailboxes and not FIFO queues: CST messages carry the
+// sender's *whole state*, so a receiver loses nothing by only ever seeing
+// the newest value — and it loses a theorem by seeing older ones. With
+// queued inboxes a backlogged node can act on a stale <0.1> snapshot of
+// its successor from the successor's previous token tenure, fire Rule 2
+// early, and open a genuine zero-token window; Theorem 3's proof tacitly
+// assumes transient periods do not overlap, i.e. receivers act on fresh
+// neighbor states (we measured this failure before switching — see
+// EXPERIMENTS.md E13). A per-receiver mutex guarding both slots restores
+// the needed transitivity: if a node observes the handshake trigger from
+// one neighbor, it also observes every state that happened-before it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssr::runtime {
+
+struct RuntimeParams {
+  /// CST refresh period: a node with a silent inbox rebroadcasts its state
+  /// this often.
+  std::chrono::microseconds refresh_interval{1000};
+  /// Probability that a single message transmission is dropped.
+  double loss_probability = 0.0;
+  /// Seed for the per-node loss/jitter generators.
+  std::uint64_t seed = 1;
+  /// Inbox capacity; overflow drops the stalest update.
+  std::size_t channel_capacity = 64;
+
+  void validate() const;
+};
+
+/// Consistent-snapshot result (see ThreadedRing::sample).
+struct HolderSnapshot {
+  std::vector<bool> holders;
+  bool consistent = false;  ///< version counter was stable across the read
+};
+
+/// Aggregate observations from a sampling run.
+struct SamplerReport {
+  std::uint64_t samples = 0;
+  std::uint64_t consistent_samples = 0;
+  /// Consistent samples observing zero token holders. The paper's graceful
+  /// handover (Theorem 3) predicts 0 for SSRmin started legitimate; plain
+  /// Dijkstra has real extinction windows a sampler can catch.
+  std::uint64_t zero_holder_samples = 0;
+  std::size_t min_holders = std::numeric_limits<std::size_t>::max();
+  std::size_t max_holders = 0;
+  /// Holder-set changes between consecutive consistent samples.
+  std::uint64_t handovers = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t rule_executions = 0;
+};
+
+template <stab::RingProtocol P>
+class ThreadedRing {
+ public:
+  using State = typename P::State;
+  using TokenFn =
+      std::function<bool(std::size_t, const State&, const State&, const State&)>;
+  /// Optional hook fired from the node's own thread whenever its token
+  /// holding flips; must be thread-safe. Arguments: node id, now-holding.
+  using ActivationFn = std::function<void(std::size_t, bool)>;
+
+  ThreadedRing(P protocol, std::vector<State> initial, TokenFn token,
+               RuntimeParams params)
+      : protocol_(std::move(protocol)),
+        params_(params),
+        token_(std::move(token)),
+        initial_(std::move(initial)) {
+    params_.validate();
+    SSR_REQUIRE(initial_.size() == protocol_.size(),
+                "configuration size must equal ring size");
+    const std::size_t n = initial_.size();
+    holders_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<NodeShared>(params_.channel_capacity));
+    }
+    // Publish the initial (coherent) holder bits from the constructor so a
+    // sampler never observes a bogus startup window.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool h =
+          token_(i, initial_[i], initial_[stab::pred_index(i, n)],
+                 initial_[stab::succ_index(i, n)]);
+      holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
+    }
+  }
+
+  ~ThreadedRing() { stop(); }
+
+  ThreadedRing(const ThreadedRing&) = delete;
+  ThreadedRing& operator=(const ThreadedRing&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+
+  void set_activation_callback(ActivationFn fn) {
+    SSR_REQUIRE(!running_, "set the callback before start()");
+    activation_ = std::move(fn);
+  }
+
+  /// Launches the node threads. Idempotent.
+  void start() {
+    if (running_) return;
+    running_ = true;
+    Rng seeder(params_.seed);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::uint64_t node_seed = seeder();
+      threads_.emplace_back([this, i, node_seed](std::stop_token st) {
+        node_main(i, node_seed, st);
+      });
+    }
+  }
+
+  /// Requests all node threads to stop and joins them. Idempotent.
+  void stop() {
+    if (!running_) return;
+    for (auto& t : threads_) t.request_stop();
+    for (auto& node : nodes_) node->inbox.close();
+    threads_.clear();  // jthread joins on destruction
+    running_ = false;
+  }
+
+  /// Injects a transient fault: node i's state is overwritten with @p s
+  /// (processed by the node thread in FIFO order with normal messages).
+  void corrupt(std::size_t i, State s) {
+    SSR_REQUIRE(i < nodes_.size(), "node index out of range");
+    nodes_[i]->inbox.post_corrupt(std::move(s));
+  }
+
+  /// Optimistic consistent snapshot of the holder bits: reads the version
+  /// counter, the bits, and the counter again, retrying while publications
+  /// interleave. After @p max_retries the last (possibly torn) read is
+  /// returned with consistent = false.
+  HolderSnapshot sample(int max_retries = 64) const {
+    HolderSnapshot snap;
+    snap.holders.resize(nodes_.size());
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+      const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        snap.holders[i] =
+            holders_[i].load(std::memory_order_seq_cst) != 0;
+      }
+      const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+      if (v1 == v2) {
+        snap.consistent = true;
+        return snap;
+      }
+    }
+    snap.consistent = false;
+    return snap;
+  }
+
+  /// Samples the holder bits every @p interval for @p duration and
+  /// aggregates coverage statistics. Runs on the caller's thread.
+  SamplerReport observe(std::chrono::milliseconds duration,
+                        std::chrono::microseconds interval) {
+    SSR_REQUIRE(running_, "call start() before observe()");
+    SamplerReport report;
+    std::vector<bool> previous;
+    const auto deadline = std::chrono::steady_clock::now() + duration;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const HolderSnapshot snap = sample();
+      ++report.samples;
+      if (snap.consistent) {
+        ++report.consistent_samples;
+        std::size_t count = 0;
+        for (bool b : snap.holders)
+          if (b) ++count;
+        if (count == 0) ++report.zero_holder_samples;
+        report.min_holders = std::min(report.min_holders, count);
+        report.max_holders = std::max(report.max_holders, count);
+        if (!previous.empty() && previous != snap.holders) ++report.handovers;
+        previous = snap.holders;
+      }
+      std::this_thread::sleep_for(interval);
+    }
+    report.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    report.messages_lost = messages_lost_.load(std::memory_order_relaxed);
+    report.rule_executions = rule_execs_.load(std::memory_order_relaxed);
+    if (report.min_holders == std::numeric_limits<std::size_t>::max())
+      report.min_holders = 0;
+    return report;
+  }
+
+  std::uint64_t rule_executions() const {
+    return rule_execs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Latest-value mailbox: one slot per neighbor direction plus a fault-
+  /// injection slot. A single mutex guards all slots so a reader that
+  /// observes one neighbor's update also observes every update that
+  /// happened-before it (see the class comment).
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<State> from_pred;
+    std::optional<State> from_succ;
+    std::optional<State> corrupt;
+    bool closed = false;
+
+    void post_state(bool is_pred, const State& s) {
+      {
+        std::lock_guard lock(mutex);
+        if (closed) return;
+        (is_pred ? from_pred : from_succ) = s;
+      }
+      cv.notify_one();
+    }
+
+    void post_corrupt(State s) {
+      {
+        std::lock_guard lock(mutex);
+        if (closed) return;
+        corrupt = std::move(s);
+      }
+      cv.notify_one();
+    }
+
+    void close() {
+      {
+        std::lock_guard lock(mutex);
+        closed = true;
+      }
+      cv.notify_all();
+    }
+
+    /// Waits for any slot (or timeout), then drains all slots atomically.
+    /// Returns false on pure timeout (nothing received).
+    bool take(std::chrono::microseconds timeout, std::optional<State>& pred,
+              std::optional<State>& succ, std::optional<State>& corrupted) {
+      std::unique_lock lock(mutex);
+      cv.wait_for(lock, timeout, [&] {
+        return from_pred || from_succ || corrupt || closed;
+      });
+      pred = std::exchange(from_pred, std::nullopt);
+      succ = std::exchange(from_succ, std::nullopt);
+      corrupted = std::exchange(corrupt, std::nullopt);
+      return pred.has_value() || succ.has_value() || corrupted.has_value();
+    }
+  };
+
+  struct NodeShared {
+    explicit NodeShared(std::size_t /*capacity*/) {}
+    Mailbox inbox;
+  };
+
+  void node_main(std::size_t i, std::uint64_t seed, std::stop_token st) {
+    const std::size_t n = nodes_.size();
+    const std::size_t pred = stab::pred_index(i, n);
+    const std::size_t succ = stab::succ_index(i, n);
+    Rng rng(seed);
+    // Thread-local protocol state: own state plus neighbor caches, seeded
+    // coherently from the shared initial configuration.
+    State self = initial_[i];
+    State cache_pred = initial_[pred];
+    State cache_succ = initial_[succ];
+    bool holding = holders_[i].load(std::memory_order_seq_cst) != 0;
+
+    auto publish = [&] {
+      const bool h = token_(i, self, cache_pred, cache_succ);
+      if (h != holding) {
+        holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
+        version_.fetch_add(1, std::memory_order_seq_cst);
+        holding = h;
+        if (activation_) activation_(i, h);
+      }
+    };
+    auto send_to = [&](std::size_t target, bool as_pred) {
+      messages_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (rng.bernoulli(params_.loss_probability)) {
+        messages_lost_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      nodes_[target]->inbox.post_state(as_pred, self);
+    };
+    auto broadcast = [&] {
+      // Predecessor first: the update chain that can re-trigger us runs
+      // through our successor, so the pred-directed copy must be posted
+      // before the succ-directed one (see the class comment).
+      send_to(pred, /*as_pred=*/false);  // we are our predecessor's succ
+      send_to(succ, /*as_pred=*/true);   // we are our successor's pred
+    };
+
+    // Initial broadcast primes the neighbors' caches.
+    broadcast();
+
+    std::optional<State> got_pred;
+    std::optional<State> got_succ;
+    std::optional<State> got_corrupt;
+    while (!st.stop_requested()) {
+      const bool received = nodes_[i]->inbox.take(
+          params_.refresh_interval, got_pred, got_succ, got_corrupt);
+      if (st.stop_requested()) break;
+      if (!received) {
+        // Refresh timer: rebroadcast the current state (Algorithm 4
+        // line 11) so lost messages are eventually repaired.
+        broadcast();
+        continue;
+      }
+      if (got_corrupt) self = *got_corrupt;
+      if (got_pred) cache_pred = *got_pred;
+      if (got_succ) cache_succ = *got_succ;
+      const int rule =
+          protocol_.enabled_rule(i, self, cache_pred, cache_succ);
+      if (rule != stab::kDisabled) {
+        self = protocol_.apply(i, rule, self, cache_pred, cache_succ);
+        rule_execs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Publish before sending: a neighbor that acts on this state update
+      // must already be able to observe our new token bit.
+      publish();
+      broadcast();
+    }
+  }
+
+  P protocol_;
+  RuntimeParams params_;
+  TokenFn token_;
+  ActivationFn activation_;
+  std::vector<State> initial_;
+
+  std::vector<std::unique_ptr<NodeShared>> nodes_;
+  std::vector<std::jthread> threads_;
+  bool running_ = false;
+
+  std::unique_ptr<std::atomic<std::uint8_t>[]> holders_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_lost_{0};
+  std::atomic<std::uint64_t> rule_execs_{0};
+};
+
+}  // namespace ssr::runtime

@@ -1,0 +1,279 @@
+#include "runtime/udp_ring.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace ssr::runtime {
+
+void UdpParams::validate() const {
+  SSR_REQUIRE(refresh_interval.count() > 0, "refresh interval must be positive");
+  SSR_REQUIRE(corruption_probability >= 0.0 && corruption_probability < 1.0,
+              "corruption probability must be in [0, 1)");
+  SSR_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
+              "drop probability must be in [0, 1)");
+}
+
+namespace {
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpSsrRing::UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial,
+                       UdpParams params)
+    : ring_(ring), params_(params), initial_(std::move(initial)) {
+  params_.validate();
+  SSR_REQUIRE(initial_.size() == ring_.size(),
+              "configuration size must equal ring size");
+  const std::size_t n = initial_.size();
+
+  sockets_.resize(n, -1);
+  ports_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    SSR_REQUIRE(fd >= 0, "failed to create UDP socket");
+    sockets_[i] = fd;
+    sockaddr_in addr = loopback_address(0);
+    SSR_REQUIRE(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "failed to bind UDP socket");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    SSR_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "failed to query bound port");
+    ports_[i] = ntohs(bound.sin_port);
+    // Receive timeout doubles as the refresh timer.
+    timeval tv{};
+    const auto usec = params_.refresh_interval.count();
+    tv.tv_sec = static_cast<time_t>(usec / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(usec % 1000000);
+    SSR_REQUIRE(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+                    0,
+                "failed to set socket timeout");
+  }
+
+  holders_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h =
+        ring_.holds_primary(i, initial_[i],
+                            initial_[stab::pred_index(i, n)]) ||
+        ring_.holds_secondary(initial_[i], initial_[stab::succ_index(i, n)]);
+    holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
+  }
+}
+
+UdpSsrRing::~UdpSsrRing() {
+  stop();
+  for (int fd : sockets_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void UdpSsrRing::start() {
+  if (running_) return;
+  running_ = true;
+  stopping_.store(false);
+  Rng seeder(params_.seed);
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    const std::uint64_t node_seed = seeder();
+    threads_.emplace_back(
+        [this, i, node_seed](std::stop_token) { node_main(i, node_seed); });
+  }
+}
+
+void UdpSsrRing::stop() {
+  if (!running_) return;
+  stopping_.store(true);
+  threads_.clear();  // jthread joins (loops observe stopping_ within one timeout)
+  running_ = false;
+}
+
+HolderSnapshot UdpSsrRing::sample(int max_retries) const {
+  HolderSnapshot snap;
+  snap.holders.resize(sockets_.size());
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < sockets_.size(); ++i) {
+      snap.holders[i] = holders_[i].load(std::memory_order_seq_cst) != 0;
+    }
+    const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+    if (v1 == v2) {
+      snap.consistent = true;
+      return snap;
+    }
+  }
+  snap.consistent = false;
+  return snap;
+}
+
+SamplerReport UdpSsrRing::observe(std::chrono::milliseconds duration,
+                                  std::chrono::microseconds interval) {
+  SSR_REQUIRE(running_, "call start() before observe()");
+  SamplerReport report;
+  std::vector<bool> previous;
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const HolderSnapshot snap = sample();
+    ++report.samples;
+    if (snap.consistent) {
+      ++report.consistent_samples;
+      std::size_t count = 0;
+      for (bool b : snap.holders)
+        if (b) ++count;
+      if (count == 0) ++report.zero_holder_samples;
+      report.min_holders = std::min(report.min_holders, count);
+      report.max_holders = std::max(report.max_holders, count);
+      if (!previous.empty() && previous != snap.holders) ++report.handovers;
+      previous = snap.holders;
+    }
+    std::this_thread::sleep_for(interval);
+  }
+  report.messages_sent = frames_sent_.load(std::memory_order_relaxed);
+  report.messages_lost = frames_dropped_.load(std::memory_order_relaxed) +
+                         frames_rejected_.load(std::memory_order_relaxed);
+  report.rule_executions = rule_execs_.load(std::memory_order_relaxed);
+  if (report.min_holders == std::numeric_limits<std::size_t>::max()) {
+    report.min_holders = 0;
+  }
+  return report;
+}
+
+UdpStats UdpSsrRing::stats() const {
+  UdpStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  s.rule_executions = rule_execs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
+  const std::size_t n = sockets_.size();
+  const std::size_t pred = stab::pred_index(i, n);
+  const std::size_t succ = stab::succ_index(i, n);
+  const sockaddr_in pred_addr = loopback_address(ports_[pred]);
+  const sockaddr_in succ_addr = loopback_address(ports_[succ]);
+  const int fd = sockets_[i];
+  Rng rng(seed);
+
+  core::SsrState self = initial_[i];
+  core::SsrState cache_pred = initial_[pred];
+  core::SsrState cache_succ = initial_[succ];
+  bool holding = holders_[i].load(std::memory_order_seq_cst) != 0;
+
+  auto publish = [&] {
+    const bool h = ring_.holds_primary(i, self, cache_pred) ||
+                   ring_.holds_secondary(self, cache_succ);
+    if (h != holding) {
+      holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
+      version_.fetch_add(1, std::memory_order_seq_cst);
+      holding = h;
+    }
+  };
+  auto send_to = [&](const sockaddr_in& addr) {
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (rng.bernoulli(params_.drop_probability)) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    wire::Bytes frame = wire::encode_state_frame(i, self);
+    if (rng.bernoulli(params_.corruption_probability)) {
+      wire::corrupt_bits(frame, rng, 1);
+    }
+    // Best-effort datagram; a full buffer is just one more kind of loss.
+    (void)::sendto(fd, frame.data(), frame.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  };
+  auto broadcast = [&] {
+    // Predecessor first (see ThreadedRing's ordering comment).
+    send_to(pred_addr);
+    send_to(succ_addr);
+  };
+
+  broadcast();
+
+  std::array<std::uint8_t, 512> buffer{};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Blocking receive (with the refresh timeout)...
+    const ssize_t first =
+        ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    bool any = false;
+    std::optional<core::SsrState> newest_pred;
+    std::optional<core::SsrState> newest_succ;
+    auto ingest = [&](ssize_t len) {
+      if (len <= 0) return;
+      wire::DecodeError error{};
+      const auto frame = wire::decode_frame(
+          wire::ByteView(buffer.data(), static_cast<std::size_t>(len)),
+          &error);
+      if (!frame) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const auto state = wire::decode_ssr_state(frame->payload);
+      if (!state || state->x >= ring_.modulus()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (frame->sender == pred) {
+        newest_pred = *state;
+      } else if (frame->sender == succ) {
+        newest_succ = *state;
+      } else {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      any = true;
+    };
+    ingest(first);
+    // ...then drain everything already queued, keeping the newest valid
+    // frame per neighbor (latest-value semantics).
+    for (;;) {
+      const ssize_t more =
+          ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
+      if (more < 0) break;
+      ingest(more);
+    }
+    if (newest_pred) cache_pred = *newest_pred;
+    if (newest_succ) cache_succ = *newest_succ;
+
+    if (!any) {
+      // Pure timeout: refresh broadcast repairs lost/corrupted frames.
+      broadcast();
+      continue;
+    }
+    const int rule = ring_.enabled_rule(i, self, cache_pred, cache_succ);
+    bool changed = false;
+    if (rule != stab::kDisabled) {
+      self = ring_.apply(i, rule, self, cache_pred, cache_succ);
+      rule_execs_.fetch_add(1, std::memory_order_relaxed);
+      changed = true;
+    }
+    publish();
+    if (changed) broadcast();
+  }
+}
+
+}  // namespace ssr::runtime

@@ -1,0 +1,101 @@
+// SSRmin over real UDP sockets on the loopback interface — the closest
+// in-process stand-in for the paper's wireless sensor network. Each node
+// is a thread with its own datagram socket; states travel as CRC-framed
+// wire messages (src/wire); corrupted frames are rejected by checksum and
+// thus behave as losses, exactly the fault model Lemma 9 assumes.
+//
+// Differences from Algorithm 4, both documented and deliberate:
+//   * a node broadcasts when its state CHANGES and on the periodic refresh
+//     timer, rather than after every receipt — same repair semantics,
+//     without the receipt->send->receipt storm that would melt a loopback
+//     interface;
+//   * receivers drain their socket and keep only the newest valid frame
+//     per neighbor (latest-value semantics; see the ThreadedRing comment
+//     about why this is required for Theorem 3's guarantee).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ssrmin.hpp"
+#include "runtime/threaded_ring.hpp"  // HolderSnapshot, SamplerReport
+#include "util/rng.hpp"
+
+namespace ssr::runtime {
+
+struct UdpParams {
+  /// Refresh period (socket receive timeout).
+  std::chrono::microseconds refresh_interval{2000};
+  /// Probability that an outgoing frame has one random bit flipped
+  /// (exercises the CRC rejection path).
+  double corruption_probability = 0.0;
+  /// Probability that an outgoing frame is synthetically dropped.
+  double drop_probability = 0.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Aggregate wire-level counters.
+struct UdpStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;     ///< synthetic drops before send
+  std::uint64_t frames_received = 0;    ///< valid frames accepted
+  std::uint64_t frames_rejected = 0;    ///< checksum / parse failures
+  std::uint64_t rule_executions = 0;
+};
+
+/// A ring of SSRmin nodes communicating over loopback UDP.
+class UdpSsrRing {
+ public:
+  UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial, UdpParams params);
+  ~UdpSsrRing();
+
+  UdpSsrRing(const UdpSsrRing&) = delete;
+  UdpSsrRing& operator=(const UdpSsrRing&) = delete;
+
+  std::size_t size() const { return ports_.size(); }
+  /// The UDP port each node is bound to (loopback).
+  const std::vector<std::uint16_t>& ports() const { return ports_; }
+
+  void start();
+  void stop();
+
+  /// Consistent holder snapshot (same optimistic versioned scheme as
+  /// ThreadedRing).
+  HolderSnapshot sample(int max_retries = 64) const;
+
+  /// Samples holder bits periodically for the duration; see ThreadedRing.
+  SamplerReport observe(std::chrono::milliseconds duration,
+                        std::chrono::microseconds interval);
+
+  UdpStats stats() const;
+
+ private:
+  void node_main(std::size_t i, std::uint64_t seed);
+
+  core::SsrMinRing ring_;
+  UdpParams params_;
+  core::SsrConfig initial_;
+
+  std::vector<int> sockets_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::jthread> threads_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+
+  std::unique_ptr<std::atomic<std::uint8_t>[]> holders_;
+  std::atomic<std::uint64_t> version_{0};
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> rule_execs_{0};
+};
+
+}  // namespace ssr::runtime

@@ -1,0 +1,112 @@
+#include "stabilizing/daemon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ssr::stab {
+
+std::vector<std::size_t> CentralRoundRobinDaemon::select(
+    const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  // Scan ids cursor_, cursor_+1, ... (mod n) and take the first enabled.
+  for (std::size_t off = 0; off < view.ring_size; ++off) {
+    const std::size_t id = (cursor_ + off) % view.ring_size;
+    if (std::binary_search(view.indices.begin(), view.indices.end(), id)) {
+      cursor_ = (id + 1) % view.ring_size;
+      return {id};
+    }
+  }
+  // Unreachable: indices is non-empty and every id is < ring_size.
+  SSR_ASSERT(false, "round-robin scan found no enabled process");
+}
+
+std::vector<std::size_t> CentralRandomDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
+  return {view.indices[k]};
+}
+
+std::vector<std::size_t> SynchronousDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  return {view.indices.begin(), view.indices.end()};
+}
+
+RandomSubsetDaemon::RandomSubsetDaemon(Rng rng, double probability)
+    : rng_(rng), p_(probability) {
+  SSR_REQUIRE(probability > 0.0 && probability <= 1.0,
+              "selection probability must be in (0, 1]");
+}
+
+std::vector<std::size_t> RandomSubsetDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  std::vector<std::size_t> out;
+  for (std::size_t id : view.indices) {
+    if (rng_.bernoulli(p_)) out.push_back(id);
+  }
+  if (out.empty()) {
+    const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
+    out.push_back(view.indices[k]);
+  }
+  return out;
+}
+
+RuleAvoidingDaemon::RuleAvoidingDaemon(Rng rng, std::vector<int> avoid_rules)
+    : rng_(rng), avoid_(std::move(avoid_rules)) {}
+
+bool RuleAvoidingDaemon::avoided(int rule) const {
+  return std::find(avoid_.begin(), avoid_.end(), rule) != avoid_.end();
+}
+
+std::vector<std::size_t> RuleAvoidingDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  std::vector<std::size_t> preferred;
+  for (std::size_t k = 0; k < view.indices.size(); ++k) {
+    if (!avoided(view.rules[k])) preferred.push_back(view.indices[k]);
+  }
+  if (!preferred.empty()) {
+    // Schedule one non-avoided process at a time to stretch the execution
+    // as far as possible before a forced avoided move.
+    const auto k = static_cast<std::size_t>(rng_.below(preferred.size()));
+    return {preferred[k]};
+  }
+  ++forced_steps_;
+  const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
+  return {view.indices[k]};
+}
+
+std::vector<std::size_t> StarvingDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  std::vector<std::size_t> candidates;
+  for (std::size_t id : view.indices) {
+    if (id != victim_) candidates.push_back(id);
+  }
+  if (candidates.empty()) return {victim_};
+  const auto k = static_cast<std::size_t>(rng_.below(candidates.size()));
+  return {candidates[k]};
+}
+
+std::vector<std::size_t> MaxIndexDaemon::select(const EnabledView& view) {
+  SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  return {view.indices.back()};
+}
+
+std::unique_ptr<Daemon> make_daemon(const std::string& name, Rng rng) {
+  if (name == "central-round-robin")
+    return std::make_unique<CentralRoundRobinDaemon>();
+  if (name == "central-random")
+    return std::make_unique<CentralRandomDaemon>(rng);
+  if (name == "distributed-synchronous")
+    return std::make_unique<SynchronousDaemon>();
+  if (name == "distributed-random-subset")
+    return std::make_unique<RandomSubsetDaemon>(rng, 0.5);
+  if (name == "adversary-max-index") return std::make_unique<MaxIndexDaemon>();
+  SSR_REQUIRE(false, "unknown daemon name: " + name);
+}
+
+std::vector<std::string> daemon_names() {
+  return {"central-round-robin", "central-random", "distributed-synchronous",
+          "distributed-random-subset", "adversary-max-index"};
+}
+
+}  // namespace ssr::stab

@@ -1,0 +1,144 @@
+// Schedulers ("daemons", paper §2.1).
+//
+// At each step the daemon observes the set of enabled processes and selects
+// a non-empty subset to move. The paper assumes the *unfair distributed*
+// daemon: any non-empty subset may be selected at any step, and a
+// continuously enabled process may be starved forever. Correctness results
+// must therefore hold for every daemon implemented here; the adversarial
+// daemons exist to probe worst cases (Lemma 5's bound, unfairness).
+//
+// Daemons are deliberately decoupled from the protocol type: they see only
+// process indices and the id of each process's enabled rule, which is all
+// the paper's scheduler model exposes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssr::stab {
+
+/// What the daemon can observe when making a scheduling decision.
+struct EnabledView {
+  /// Sorted indices of the enabled processes. Never empty when select() is
+  /// called (a deadlocked configuration never reaches the daemon).
+  std::span<const std::size_t> indices;
+  /// Rule id enabled at indices[k] (parallel array).
+  std::span<const int> rules;
+  /// Total ring size n.
+  std::size_t ring_size = 0;
+};
+
+/// Scheduler interface. Implementations must return a non-empty subset of
+/// view.indices (as indices of processes, not positions in the span).
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+  virtual std::vector<std::size_t> select(const EnabledView& view) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Central daemon, round-robin flavor: scans process ids cyclically from
+/// just past the last scheduled process and picks the first enabled one.
+/// This is the fair central daemon used to replay the paper's Figure 4.
+class CentralRoundRobinDaemon final : public Daemon {
+ public:
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "central-round-robin"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Central daemon, random flavor: one uniformly random enabled process.
+class CentralRandomDaemon final : public Daemon {
+ public:
+  explicit CentralRandomDaemon(Rng rng) : rng_(rng) {}
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "central-random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Distributed daemon, synchronous flavor: every enabled process moves.
+/// This is the maximal (and maximally concurrent) choice the distributed
+/// daemon can make.
+class SynchronousDaemon final : public Daemon {
+ public:
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "distributed-synchronous"; }
+};
+
+/// Distributed daemon, random-subset flavor: each enabled process is
+/// independently selected with probability p; if the coin flips leave the
+/// set empty, one uniformly random enabled process is chosen (the daemon
+/// must select a non-empty set).
+class RandomSubsetDaemon final : public Daemon {
+ public:
+  RandomSubsetDaemon(Rng rng, double probability);
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "distributed-random-subset"; }
+
+ private:
+  Rng rng_;
+  double p_;
+};
+
+/// Unfair adversary that avoids scheduling any process whose enabled rule
+/// is in the avoid set for as long as some process outside the set is
+/// enabled. Used to realize Lemma 5's worst case (executions free of Rules
+/// 2 and 4 of SSRmin). When only avoided rules are enabled it schedules a
+/// single random one of them (it must pick something, per the model).
+class RuleAvoidingDaemon final : public Daemon {
+ public:
+  RuleAvoidingDaemon(Rng rng, std::vector<int> avoid_rules);
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "adversary-rule-avoiding"; }
+
+  /// Number of steps so far in which the daemon was forced to schedule an
+  /// avoided rule (i.e. every enabled process had an avoided rule).
+  std::uint64_t forced_steps() const { return forced_steps_; }
+
+ private:
+  bool avoided(int rule) const;
+
+  Rng rng_;
+  std::vector<int> avoid_;
+  std::uint64_t forced_steps_ = 0;
+};
+
+/// Unfair adversary that starves one victim process: the victim is never
+/// scheduled unless it is the only enabled process. Demonstrates that the
+/// algorithm's guarantees hold under unfairness.
+class StarvingDaemon final : public Daemon {
+ public:
+  StarvingDaemon(Rng rng, std::size_t victim) : rng_(rng), victim_(victim) {}
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "adversary-starving"; }
+
+ private:
+  Rng rng_;
+  std::size_t victim_;
+};
+
+/// Adversary that always selects the enabled process with the highest
+/// process id. Deterministic; tends to delay the bottom process, which is
+/// a classically slow schedule for Dijkstra-style rings.
+class MaxIndexDaemon final : public Daemon {
+ public:
+  std::vector<std::size_t> select(const EnabledView& view) override;
+  std::string name() const override { return "adversary-max-index"; }
+};
+
+/// Factory helpers so benches/tests can sweep over daemon families by name.
+std::unique_ptr<Daemon> make_daemon(const std::string& name, Rng rng);
+
+/// Names accepted by make_daemon.
+std::vector<std::string> daemon_names();
+
+}  // namespace ssr::stab

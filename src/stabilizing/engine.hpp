@@ -1,0 +1,169 @@
+// The state-reading / composite-atomicity execution engine (paper §2.1).
+//
+// One engine step: the daemon selects a non-empty subset V' of the enabled
+// processes; every P_i in V' atomically reads the *pre-step* states of
+// itself and its neighbors and writes its next state. All writes of a step
+// are simultaneous — the engine snapshots neighbor reads before applying
+// any command, which is what the composite atomicity + distributed daemon
+// semantics require (and what makes synchronous schedules meaningful).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::stab {
+
+/// Executes a RingProtocol over an explicit configuration.
+template <RingProtocol P>
+class Engine {
+ public:
+  using State = typename P::State;
+  using Configuration = std::vector<State>;
+
+  Engine(P protocol, Configuration initial)
+      : protocol_(std::move(protocol)), config_(std::move(initial)) {
+    SSR_REQUIRE(config_.size() == protocol_.size(),
+                "configuration size must equal ring size");
+    SSR_REQUIRE(config_.size() >= 2, "ring needs at least two processes");
+  }
+
+  const P& protocol() const { return protocol_; }
+  const Configuration& config() const { return config_; }
+  std::size_t size() const { return config_.size(); }
+
+  /// Replaces the whole configuration (e.g. transient-fault injection).
+  void reset(Configuration c) {
+    SSR_REQUIRE(c.size() == config_.size(), "ring size cannot change");
+    config_ = std::move(c);
+  }
+
+  /// Overwrites one process's state (single-process transient fault).
+  void corrupt(std::size_t i, State s) {
+    SSR_REQUIRE(i < config_.size(), "process index out of range");
+    config_[i] = std::move(s);
+  }
+
+  /// Rule currently enabled at process i (kDisabled if none).
+  int enabled_rule(std::size_t i) const {
+    const std::size_t n = config_.size();
+    return protocol_.enabled_rule(i, config_[i], config_[pred_index(i, n)],
+                                  config_[succ_index(i, n)]);
+  }
+
+  bool is_enabled(std::size_t i) const { return enabled_rule(i) != kDisabled; }
+
+  /// Sorted indices of all enabled processes, with their rule ids.
+  void enabled(std::vector<std::size_t>& indices, std::vector<int>& rules) const {
+    indices.clear();
+    rules.clear();
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      const int r = enabled_rule(i);
+      if (r != kDisabled) {
+        indices.push_back(i);
+        rules.push_back(r);
+      }
+    }
+  }
+
+  std::vector<std::size_t> enabled_indices() const {
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    enabled(idx, rules);
+    return idx;
+  }
+
+  /// Applies one composite-atomicity step at the given processes. Every
+  /// selected process must be enabled; all selected processes read the
+  /// pre-step configuration. Returns the rules executed (parallel to
+  /// @p selected).
+  std::vector<int> step(std::span<const std::size_t> selected) {
+    SSR_REQUIRE(!selected.empty(), "a step must move at least one process");
+    const std::size_t n = config_.size();
+    std::vector<std::pair<std::size_t, State>> writes;
+    std::vector<int> rules;
+    writes.reserve(selected.size());
+    rules.reserve(selected.size());
+    for (std::size_t i : selected) {
+      SSR_REQUIRE(i < n, "selected process index out of range");
+      const State& self = config_[i];
+      const State& pred = config_[pred_index(i, n)];
+      const State& succ = config_[succ_index(i, n)];
+      const int rule = protocol_.enabled_rule(i, self, pred, succ);
+      SSR_REQUIRE(rule != kDisabled, "daemon selected a disabled process");
+      writes.emplace_back(i, protocol_.apply(i, rule, self, pred, succ));
+      rules.push_back(rule);
+    }
+    for (auto& [i, s] : writes) config_[i] = std::move(s);
+    ++steps_;
+    moves_ += selected.size();
+    return rules;
+  }
+
+  /// Asks the daemon for a selection and applies it. Returns false (and
+  /// performs nothing) iff no process is enabled — which, for the protocols
+  /// in this library, would falsify the paper's no-deadlock lemma.
+  bool step_with(Daemon& daemon) {
+    enabled(scratch_indices_, scratch_rules_);
+    if (scratch_indices_.empty()) return false;
+    const EnabledView view{scratch_indices_, scratch_rules_, config_.size()};
+    const std::vector<std::size_t> chosen = daemon.select(view);
+    SSR_REQUIRE(!chosen.empty(), "daemon returned an empty selection");
+    step(chosen);
+    return true;
+  }
+
+  /// Number of daemon steps executed so far.
+  std::uint64_t steps() const { return steps_; }
+  /// Total process moves (sum of selection sizes over all steps).
+  std::uint64_t moves() const { return moves_; }
+
+ private:
+  P protocol_;
+  Configuration config_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t moves_ = 0;
+  // Reused across step_with calls to avoid per-step allocation.
+  std::vector<std::size_t> scratch_indices_;
+  std::vector<int> scratch_rules_;
+};
+
+/// Outcome of a bounded run (see run_until below).
+struct RunResult {
+  bool reached = false;        ///< predicate became true within the budget
+  bool deadlocked = false;     ///< no process was enabled before that
+  std::uint64_t steps = 0;     ///< daemon steps consumed by this run
+  std::uint64_t moves = 0;     ///< process moves consumed by this run
+};
+
+/// Runs the engine under the daemon until predicate(config) holds, a
+/// deadlock occurs, or max_steps is exhausted. The predicate is evaluated
+/// on the initial configuration first (zero-step success is possible).
+template <RingProtocol P, typename Predicate>
+RunResult run_until(Engine<P>& engine, Daemon& daemon, Predicate&& predicate,
+                    std::uint64_t max_steps) {
+  RunResult result;
+  const std::uint64_t steps0 = engine.steps();
+  const std::uint64_t moves0 = engine.moves();
+  for (std::uint64_t t = 0; t <= max_steps; ++t) {
+    if (predicate(engine.config())) {
+      result.reached = true;
+      break;
+    }
+    if (t == max_steps) break;
+    if (!engine.step_with(daemon)) {
+      result.deadlocked = true;
+      break;
+    }
+  }
+  result.steps = engine.steps() - steps0;
+  result.moves = engine.moves() - moves0;
+  return result;
+}
+
+}  // namespace ssr::stab

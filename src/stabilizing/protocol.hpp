@@ -1,0 +1,59 @@
+// The protocol abstraction shared by every algorithm in this library.
+//
+// The paper's computation model (§2.1): a ring of n processes, each running
+// a finite set of prioritized guarded commands. A guard of P_i reads the
+// local states of P_{i-1}, P_i and P_{i+1}; a command rewrites P_i's state
+// from those same three values. A process is *enabled* iff some guard holds;
+// with prioritized rules, at most one rule is enabled per process.
+//
+// A RingProtocol models exactly that: it owns the static parameters (ring
+// size n, Dijkstra constant K, ...), exposes which rule (if any) is enabled
+// at position i given the three neighboring states, and applies a rule to
+// produce the process's next state. Protocols are value types with no
+// mutable execution state — all execution state lives in a Configuration
+// held by the engine, which is what lets the model checker, the
+// state-reading engine, the message-passing simulator and the threaded
+// runtime all reuse one protocol definition.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+namespace ssr::stab {
+
+/// Sentinel rule id meaning "no guard holds" (process disabled).
+inline constexpr int kDisabled = 0;
+
+// clang-format off
+template <typename P>
+concept RingProtocol = requires(const P p, std::size_t i,
+                                const typename P::State& s) {
+  typename P::State;
+  requires std::equality_comparable<typename P::State>;
+  requires std::copyable<typename P::State>;
+  /// Number of processes on the ring.
+  { p.size() } -> std::convertible_to<std::size_t>;
+  /// Highest-priority enabled rule id (>= 1) at position i, or kDisabled.
+  { p.enabled_rule(i, s, s, s) } -> std::convertible_to<int>;
+  /// Next state of P_i when executing the given rule. Precondition: the
+  /// rule is enabled.
+  { p.apply(i, int{}, s, s, s) } -> std::same_as<typename P::State>;
+};
+// clang-format on
+
+/// A configuration is the n-tuple of local states (paper §2.1).
+template <RingProtocol P>
+using ConfigurationOf = std::vector<typename P::State>;
+
+/// Index of the predecessor of i on a ring of n processes.
+constexpr std::size_t pred_index(std::size_t i, std::size_t n) {
+  return (i + n - 1) % n;
+}
+
+/// Index of the successor of i on a ring of n processes.
+constexpr std::size_t succ_index(std::size_t i, std::size_t n) {
+  return (i + 1) % n;
+}
+
+}  // namespace ssr::stab

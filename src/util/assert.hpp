@@ -1,0 +1,45 @@
+// Internal assertion helpers for the ssring library.
+//
+// SSR_REQUIRE is used for precondition validation on public API boundaries:
+// it throws std::invalid_argument so misuse is reportable and testable.
+// SSR_ASSERT is used for internal invariants: it throws std::logic_error,
+// which deliberately stays enabled in release builds — this library's whole
+// purpose is verifying invariants of a distributed algorithm, so invariant
+// checks are part of the product, not debug scaffolding.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssr {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant_failure(const char* expr,
+                                                 const char* file, int line,
+                                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ssr
+
+#define SSR_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) ::ssr::throw_requirement_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SSR_ASSERT(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) ::ssr::throw_invariant_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,139 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace ssr {
+
+Json& Json::set(const std::string& key, Json value) {
+  if (is_null()) value_ = Object{};
+  SSR_REQUIRE(is_object(), "set() requires an object");
+  auto& entries = std::get<Object>(value_).entries;
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  entries.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (is_null()) value_ = Array{};
+  SSR_REQUIRE(is_array(), "push() requires an array");
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (is_object()) return std::get<Object>(value_).entries.size();
+  if (is_array()) return std::get<Array>(value_).size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth + 1),
+                               ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (std::holds_alternative<bool>(value_)) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<std::int64_t>(value_)) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (std::holds_alternative<double>(value_)) {
+    out += format_double(std::get<double>(value_), 9);
+  } else if (std::holds_alternative<std::string>(value_)) {
+    out += '"';
+    out += escape(std::get<std::string>(value_));
+    out += '"';
+  } else if (std::holds_alternative<Array>(value_)) {
+    const auto& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].dump_impl(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.entries.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    for (std::size_t i = 0; i < obj.entries.size(); ++i) {
+      out += pad;
+      out += '"';
+      out += escape(obj.entries[i].first);
+      out += indent > 0 ? "\": " : "\":";
+      obj.entries[i].second.dump_impl(out, indent, depth + 1);
+      if (i + 1 < obj.entries.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+}  // namespace ssr

@@ -1,0 +1,73 @@
+// Minimal JSON value tree + serializer — enough for machine-readable
+// experiment exports (no parsing, no dependencies). Strings are escaped
+// per RFC 8259; numbers use shortest-round-trip formatting via
+// format_double for doubles.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ssr {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  /// Any integral type (stored as int64).
+  template <typename T>
+    requires std::integral<T> && (!std::same_as<T, bool>)
+  Json(T i) : value_(static_cast<std::int64_t>(i)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+
+  /// Sets a key on an object (converts a null value to an object first).
+  Json& set(const std::string& key, Json value);
+
+  /// Appends to an array (converts a null value to an array first).
+  Json& push(Json value);
+
+  std::size_t size() const;
+
+  /// Serializes; indent = 0 gives compact output, > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// RFC 8259 string escaping (without the surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Object {
+    // Insertion-ordered map keeps exports stable and diff-friendly.
+    std::vector<std::pair<std::string, Json>> entries;
+  };
+  using Array = std::vector<Json>;
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                             std::string, Object, Array>;
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Value value_;
+};
+
+}  // namespace ssr

@@ -1,0 +1,184 @@
+#include "util/table.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ssr {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SSR_REQUIRE(!header_.empty(), "TextTable needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  SSR_REQUIRE(!rows_.empty(), "call row() before cell()");
+  SSR_REQUIRE(rows_.back().size() < header_.size(),
+              "row has more cells than header columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) { return cell(std::string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TextTable& TextTable::cell(bool value) {
+  return cell(std::string(value ? "yes" : "no"));
+}
+
+TextTable& TextTable::add_row(std::initializer_list<std::string> cells) {
+  row();
+  for (const auto& c : cells) cell(c);
+  return *this;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells, bool align) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - v.size();
+      if (align && looks_numeric(v)) {
+        os << std::string(pad, ' ') << v;
+      } else {
+        os << v << std::string(pad, ' ');
+      }
+      os << (c + 1 == header_.size() ? "" : "  ");
+    }
+    os << '\n';
+  };
+  emit(header_, /*align=*/false);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == header_.size() ? "" : "  ");
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r, /*align=*/true);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+namespace {
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << csv_quote(header_[c]) << (c + 1 == header_.size() ? "" : ",");
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << (c < r.size() ? csv_quote(r[c]) : std::string())
+         << (c + 1 == header_.size() ? "" : ",");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TextTable::to_json(int indent) const {
+  Json rows = Json::array();
+  for (const auto& r : rows_) {
+    Json row = Json::object();
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      if (v == "yes") {
+        row.set(header_[c], Json(true));
+      } else if (v == "no") {
+        row.set(header_[c], Json(false));
+      } else if (looks_numeric(v) && v.find('%') == std::string::npos &&
+                 v.find('x') == std::string::npos) {
+        char* end = nullptr;
+        const double d = std::strtod(v.c_str(), &end);
+        if (end != nullptr && *end == '\0') {
+          if (v.find('.') == std::string::npos &&
+              v.find('e') == std::string::npos &&
+              v.find('E') == std::string::npos) {
+            row.set(header_[c], Json(static_cast<std::int64_t>(
+                                    std::strtoll(v.c_str(), nullptr, 10))));
+          } else {
+            row.set(header_[c], Json(d));
+          }
+        } else {
+          row.set(header_[c], Json(v));
+        }
+      } else {
+        row.set(header_[c], Json(v));
+      }
+    }
+    rows.push(std::move(row));
+  }
+  return rows.dump(indent);
+}
+
+}  // namespace ssr

@@ -1,0 +1,65 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// rows/series each experiment reports (the paper-figure reproductions).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssr {
+
+/// Column-aligned text table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision. Rendering right-aligns cells
+/// that parse as numbers and left-aligns everything else.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(bool value);
+  /// Any integral type.
+  template <typename T>
+    requires std::integral<T> && (!std::same_as<T, bool>)
+  TextTable& cell(T value) {
+    return cell(std::to_string(value));
+  }
+
+  /// Appends a full row in one call.
+  TextTable& add_row(std::initializer_list<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   n    steps  bound
+  ///   ---- ------ ------
+  ///   5    42     60
+  std::string render() const;
+
+  /// RFC-4180-style CSV (header row first; cells quoted when needed).
+  std::string to_csv() const;
+
+  /// JSON array of row objects keyed by the header names. Cells that parse
+  /// as numbers are emitted as numbers, "yes"/"no" as booleans, everything
+  /// else as strings.
+  std::string to_json(int indent = 2) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of significant decimals, trimming
+/// trailing zeros ("3.100" -> "3.1", "4.000" -> "4").
+std::string format_double(double value, int precision = 3);
+
+}  // namespace ssr

@@ -1,0 +1,80 @@
+// Optimal-adversary replay: the model checker's height function h is the
+// exact worst-case potential — h(c) = 0 on Lambda and
+// h(c) = 1 + max over successors h(c') elsewhere — so the daemon strategy
+// "always move to a successor of maximal height" realizes the worst case
+// exactly. Replaying it cross-validates the checker: the replayed
+// execution must take exactly h(start) steps, decrementing the potential
+// by one per step, and stay illegitimate until the last step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "verify/modelcheck.hpp"
+
+namespace ssr::verify {
+
+/// Result of one worst-case replay.
+struct ReplayResult {
+  std::uint64_t steps = 0;
+  /// Encoded configurations visited, start first, final (legitimate) last.
+  std::vector<std::uint64_t> path;
+  /// True iff every step decreased the height by exactly one.
+  bool potential_decreased_by_one = true;
+};
+
+/// Replays the worst execution from @p start_code using the heights in
+/// @p report (which must come from a run with keep_heights = true).
+template <stab::RingProtocol P>
+ReplayResult replay_worst_execution(const ModelChecker<P>& checker,
+                                    const CheckReport& report,
+                                    std::uint64_t start_code) {
+  SSR_REQUIRE(!report.heights.empty(),
+              "report lacks heights; run with keep_heights = true");
+  SSR_REQUIRE(start_code < report.heights.size(),
+              "start configuration out of range");
+  ReplayResult result;
+  std::uint64_t code = start_code;
+  result.path.push_back(code);
+  while (report.heights[code] > 0) {
+    const auto config = checker.codec().decode(code);
+    SSR_ASSERT(!checker.legitimate(config),
+               "positive height on a legitimate configuration");
+    const auto succs = checker.successor_codes(config);
+    SSR_ASSERT(!succs.empty(), "deadlock during worst-case replay");
+    // Pick the successor of maximal height (legitimate successors count
+    // as height 0).
+    std::uint64_t best = succs.front();
+    std::uint32_t best_height = report.heights[succs.front()];
+    for (std::uint64_t s : succs) {
+      if (report.heights[s] > best_height) {
+        best = s;
+        best_height = report.heights[s];
+      }
+    }
+    if (best_height + 1 != report.heights[code]) {
+      result.potential_decreased_by_one = false;
+    }
+    code = best;
+    result.path.push_back(code);
+    ++result.steps;
+    SSR_ASSERT(result.steps <= report.heights[start_code] + 1,
+               "replay exceeded the predicted worst case");
+  }
+  return result;
+}
+
+/// Encoded configuration realizing the global worst case (requires
+/// keep_heights).
+inline std::uint64_t worst_configuration(const CheckReport& report) {
+  SSR_REQUIRE(!report.heights.empty(),
+              "report lacks heights; run with keep_heights = true");
+  std::uint64_t best = 0;
+  for (std::uint64_t c = 0; c < report.heights.size(); ++c) {
+    if (report.heights[c] > report.heights[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace ssr::verify

@@ -1,0 +1,21 @@
+// Ready-made exhaustive checkers for the protocols in this library.
+#pragma once
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "dijkstra/kstate.hpp"
+#include "verify/modelcheck.hpp"
+
+namespace ssr::verify {
+
+/// Checker for SSRmin over all (4K)^n configurations. Verifies Lemmas 1,
+/// 2, 4, 6 and measures the exact worst-case stabilization time.
+ModelChecker<core::SsrMinRing> make_ssrmin_checker(std::size_t n,
+                                                   std::uint32_t K);
+
+/// Checker for Dijkstra's K-state ring over all K^n configurations
+/// (legitimacy = paper §2.3; privileged = token count).
+ModelChecker<dijkstra::KStateRing> make_kstate_checker(std::size_t n,
+                                                       std::uint32_t K);
+
+}  // namespace ssr::verify

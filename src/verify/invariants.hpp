@@ -1,0 +1,122 @@
+// Composable online invariant monitors for state-reading executions.
+//
+// The paper's correctness statements are invariants over executions; this
+// module packages them as reusable monitors that a test (or a long soak
+// run) can evaluate after every engine step:
+//
+//   * PrivilegedBand     — 1 <= privileged <= 2 in legitimate
+//                          configurations (Theorem 1), and >= 1 anywhere
+//                          (Lemma 3);
+//   * TokenAdjacency     — primary and secondary holders are the same
+//                          process or ring-adjacent in Lambda (§3.1);
+//   * ClosureInvariant   — once legitimate, stay legitimate (Lemma 1);
+//   * ShapeCycle         — within Lambda the shapes advance
+//                          HolderTra -> HolderRts -> HandoffPending ->
+//                          next holder's HolderTra (Figure 1);
+//   * XPartMonotone      — the embedded Dijkstra ring, once legitimate,
+//                          stays legitimate (Lemma 8's closure half).
+//
+// Each monitor returns a violation string (empty = fine), so soak tests
+// can report exactly what broke and when.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+
+namespace ssr::verify {
+
+/// Interface: observe successive configurations of one execution.
+class ExecutionInvariant {
+ public:
+  virtual ~ExecutionInvariant() = default;
+  /// Returns a human-readable violation description, or empty if the
+  /// configuration (in the context of the previously observed ones) is
+  /// fine.
+  virtual std::string observe(const core::SsrConfig& config) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Theorem 1 band inside Lambda plus the Lemma 3 floor everywhere.
+class PrivilegedBandInvariant final : public ExecutionInvariant {
+ public:
+  explicit PrivilegedBandInvariant(core::SsrMinRing ring) : ring_(ring) {}
+  std::string observe(const core::SsrConfig& config) override;
+  std::string name() const override { return "privileged-band"; }
+
+ private:
+  core::SsrMinRing ring_;
+};
+
+/// §3.1: in Lambda the token holders are the same process or neighbors.
+class TokenAdjacencyInvariant final : public ExecutionInvariant {
+ public:
+  explicit TokenAdjacencyInvariant(core::SsrMinRing ring) : ring_(ring) {}
+  std::string observe(const core::SsrConfig& config) override;
+  std::string name() const override { return "token-adjacency"; }
+
+ private:
+  core::SsrMinRing ring_;
+};
+
+/// Lemma 1: legitimacy is closed under steps.
+class ClosureInvariant final : public ExecutionInvariant {
+ public:
+  explicit ClosureInvariant(core::SsrMinRing ring) : ring_(ring) {}
+  std::string observe(const core::SsrConfig& config) override;
+  std::string name() const override { return "closure"; }
+
+ private:
+  core::SsrMinRing ring_;
+  bool was_legit_ = false;
+};
+
+/// Figure 1: the inchworm shape sequence within Lambda.
+class ShapeCycleInvariant final : public ExecutionInvariant {
+ public:
+  explicit ShapeCycleInvariant(core::SsrMinRing ring) : ring_(ring) {}
+  std::string observe(const core::SsrConfig& config) override;
+  std::string name() const override { return "shape-cycle"; }
+
+ private:
+  core::SsrMinRing ring_;
+  std::optional<core::LegitimacyInfo> previous_;
+};
+
+/// Lemma 8 closure half: the embedded Dijkstra ring never leaves its
+/// legitimate set once inside it.
+class XPartMonotoneInvariant final : public ExecutionInvariant {
+ public:
+  explicit XPartMonotoneInvariant(core::SsrMinRing ring) : ring_(ring) {}
+  std::string observe(const core::SsrConfig& config) override;
+  std::string name() const override { return "x-part-monotone"; }
+
+ private:
+  core::SsrMinRing ring_;
+  bool was_dijkstra_legit_ = false;
+};
+
+/// Bundles every invariant and accumulates violations.
+class InvariantSuite {
+ public:
+  explicit InvariantSuite(const core::SsrMinRing& ring);
+
+  /// Feeds one configuration to every monitor; returns the number of new
+  /// violations.
+  std::size_t observe(const core::SsrConfig& config);
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t observations() const { return observations_; }
+  bool clean() const { return violations_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<ExecutionInvariant>> invariants_;
+  std::vector<std::string> violations_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace ssr::verify

@@ -1,0 +1,57 @@
+#include "verify/modelcheck.hpp"
+
+#include <sstream>
+
+#include "verify/checkers.hpp"
+
+namespace ssr::verify {
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << "configs=" << total_configs << " legitimate=" << legitimate_configs
+     << " deadlock_free=" << (deadlock_free ? "yes" : "NO")
+     << " closure=" << (closure_holds ? "yes" : "NO")
+     << " token_bounds=" << (token_bounds_hold ? "yes" : "NO")
+     << " convergence=" << (convergence_holds ? "yes" : "NO");
+  if (convergence_holds) os << " worst_case_steps=" << worst_case_steps;
+  os << " min_privileged_anywhere=" << min_privileged_anywhere;
+  return os.str();
+}
+
+ModelChecker<core::SsrMinRing> make_ssrmin_checker(std::size_t n,
+                                                   std::uint32_t K) {
+  core::SsrMinRing ring(n, K);
+  ConfigCodec<core::SsrState> codec(
+      n, ring.states_per_process(),
+      [K](const core::SsrState& s) { return core::encode_state(s, K); },
+      [K](std::uint32_t code) { return core::decode_state(code, K); });
+  auto legit = [ring](const core::SsrConfig& c) {
+    return core::is_legitimate(ring, c);
+  };
+  auto privileged = [ring](const core::SsrConfig& c) {
+    return core::privileged_count(ring, c);
+  };
+  return ModelChecker<core::SsrMinRing>(ring, std::move(codec),
+                                        std::move(legit),
+                                        std::move(privileged));
+}
+
+ModelChecker<dijkstra::KStateRing> make_kstate_checker(std::size_t n,
+                                                       std::uint32_t K) {
+  dijkstra::KStateRing ring(n, K);
+  ConfigCodec<dijkstra::KStateLocal> codec(
+      n, K,
+      [](const dijkstra::KStateLocal& s) { return s.x; },
+      [](std::uint32_t code) { return dijkstra::KStateLocal{code}; });
+  auto legit = [ring](const dijkstra::KStateConfig& c) {
+    return dijkstra::is_legitimate(ring, c);
+  };
+  auto privileged = [ring](const dijkstra::KStateConfig& c) {
+    return dijkstra::token_count(ring, c);
+  };
+  return ModelChecker<dijkstra::KStateRing>(ring, std::move(codec),
+                                            std::move(legit),
+                                            std::move(privileged));
+}
+
+}  // namespace ssr::verify

@@ -1,0 +1,399 @@
+// Exhaustive finite-state verification of ring protocols for small (n, K).
+//
+// The paper proves its lemmas by hand; this module machine-checks them over
+// the *entire* configuration space Gamma = (4K)^n for SSRmin (and K^n for
+// Dijkstra's ring), under the full distributed daemon — i.e. considering
+// every non-empty subset of enabled processes as a possible step:
+//
+//   * no deadlock           (Lemma 4): every configuration has an enabled
+//                            process;
+//   * closure               (Lemma 1): every successor of a legitimate
+//                            configuration is legitimate;
+//   * token bounds          (Lemma 2 / Theorem 1): in legitimate
+//                            configurations exactly one primary and one
+//                            secondary token, 1..2 privileged processes;
+//   * convergence           (Lemma 6 / Theorem 2): no cycle lies entirely
+//                            within the illegitimate region, i.e. every
+//                            infinite execution reaches Lambda no matter
+//                            what the (unfair, distributed) daemon does;
+//   * worst-case stabilization time: the exact maximum, over illegitimate
+//                            configurations and daemon strategies, of the
+//                            number of steps to reach Lambda (the quantity
+//                            Theorem 2 bounds by O(n^2)).
+//
+// The checker is generic over the protocol; a StateCodec maps local states
+// to dense codes so a configuration becomes one base-(codec.count())
+// integer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stabilizing/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::verify {
+
+/// Verification report. Counterexamples are encoded configuration indices
+/// (decode with ConfigCodec::decode for inspection).
+struct CheckReport {
+  std::uint64_t total_configs = 0;
+  std::uint64_t legitimate_configs = 0;
+
+  bool deadlock_free = true;
+  std::optional<std::uint64_t> deadlock_witness;
+
+  bool closure_holds = true;
+  std::optional<std::uint64_t> closure_witness;  ///< legit config with illegit successor
+
+  bool token_bounds_hold = true;
+  std::optional<std::uint64_t> token_witness;
+
+  bool convergence_holds = true;
+  std::optional<std::uint64_t> cycle_witness;  ///< config on an illegit cycle
+
+  /// Max steps from any illegitimate configuration to Lambda under the
+  /// worst daemon strategy. Only meaningful when convergence_holds.
+  std::uint64_t worst_case_steps = 0;
+  /// An illegitimate configuration realizing worst_case_steps.
+  std::optional<std::uint64_t> worst_case_witness;
+
+  /// Minimum number of privileged processes over *all* configurations
+  /// (paper Lemma 3 implies >= 1 for SSRmin in the state-reading model).
+  std::size_t min_privileged_anywhere = 0;
+
+  /// Per-configuration worst-case steps to Lambda (indexed by encoded
+  /// configuration; 0 for legitimate configurations). Populated only when
+  /// CheckOptions::keep_heights is set and the convergence pass ran. This
+  /// is the exact "potential function" of the protocol — the
+  /// OptimalAdversary driver and the perturbation analysis are built on
+  /// it.
+  std::vector<std::uint32_t> heights;
+
+  bool all_ok() const {
+    return deadlock_free && closure_holds && token_bounds_hold &&
+           convergence_holds;
+  }
+  std::string summary() const;
+};
+
+/// Options controlling which checks run (the convergence pass dominates
+/// runtime; skip it for quick sanity sweeps).
+struct CheckOptions {
+  bool check_deadlock = true;
+  bool check_closure = true;
+  bool check_token_bounds = true;
+  bool check_convergence = true;
+  /// Retain the per-configuration height table in the report (costs 4
+  /// bytes per configuration).
+  bool keep_heights = false;
+  /// Expected privileged-count bounds in legitimate configurations.
+  std::size_t min_privileged = 1;
+  std::size_t max_privileged = 2;
+};
+
+/// Dense encoding of whole configurations as base-(states_per_process)
+/// integers.
+template <typename State>
+class ConfigCodec {
+ public:
+  using Encoder = std::function<std::uint32_t(const State&)>;
+  using Decoder = std::function<State(std::uint32_t)>;
+
+  ConfigCodec(std::size_t ring_size, std::uint32_t states_per_process,
+              Encoder encode, Decoder decode)
+      : n_(ring_size),
+        radix_(states_per_process),
+        encode_(std::move(encode)),
+        decode_(std::move(decode)) {
+    SSR_REQUIRE(radix_ >= 2, "need at least two states per process");
+    // Guard against u64 overflow of radix^n.
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < n_; ++i) {
+      SSR_REQUIRE(total <= UINT64_MAX / radix_,
+                  "configuration space exceeds 2^64; reduce n or K");
+      total *= radix_;
+    }
+    total_ = total;
+    SSR_REQUIRE(total_ <= (1ULL << 33),
+                "configuration space too large for exhaustive checking");
+  }
+
+  std::size_t ring_size() const { return n_; }
+  std::uint64_t total() const { return total_; }
+
+  std::uint64_t encode(const std::vector<State>& config) const {
+    SSR_REQUIRE(config.size() == n_, "configuration size mismatch");
+    std::uint64_t idx = 0;
+    for (std::size_t i = n_; i-- > 0;) idx = idx * radix_ + encode_(config[i]);
+    return idx;
+  }
+
+  std::vector<State> decode(std::uint64_t idx) const {
+    SSR_REQUIRE(idx < total_, "configuration index out of range");
+    std::vector<State> config(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      config[i] = decode_(static_cast<std::uint32_t>(idx % radix_));
+      idx /= radix_;
+    }
+    return config;
+  }
+
+ private:
+  std::size_t n_;
+  std::uint64_t radix_;
+  Encoder encode_;
+  Decoder decode_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exhaustive checker over all configurations of a protocol.
+template <stab::RingProtocol P>
+class ModelChecker {
+ public:
+  using State = typename P::State;
+  using Config = std::vector<State>;
+  using LegitPredicate = std::function<bool(const Config&)>;
+  using PrivilegedCounter = std::function<std::size_t(const Config&)>;
+
+  ModelChecker(P protocol, ConfigCodec<State> codec, LegitPredicate legit,
+               PrivilegedCounter privileged)
+      : protocol_(std::move(protocol)),
+        codec_(std::move(codec)),
+        legit_(std::move(legit)),
+        privileged_(std::move(privileged)) {
+    SSR_REQUIRE(codec_.ring_size() == protocol_.size(),
+                "codec/protocol ring size mismatch");
+  }
+
+  CheckReport run(const CheckOptions& options = {}) const;
+
+  const ConfigCodec<State>& codec() const { return codec_; }
+  const P& protocol() const { return protocol_; }
+  bool legitimate(const Config& config) const { return legit_(config); }
+  std::size_t privileged(const Config& config) const {
+    return privileged_(config);
+  }
+
+  /// All successor configurations of @p config under the distributed
+  /// daemon (one per non-empty subset of the enabled processes; may
+  /// contain duplicates). Empty iff the configuration is deadlocked.
+  std::vector<std::uint64_t> successor_codes(const Config& config) const {
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    std::vector<std::uint64_t> out;
+    enabled(config, idx, rules);
+    if (!idx.empty()) successors(config, idx, rules, out);
+    return out;
+  }
+
+ private:
+  /// Indices of enabled processes and their rules in @p config.
+  void enabled(const Config& config, std::vector<std::size_t>& idx,
+               std::vector<int>& rules) const {
+    idx.clear();
+    rules.clear();
+    const std::size_t n = config.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const int r = protocol_.enabled_rule(i, config[i],
+                                           config[stab::pred_index(i, n)],
+                                           config[stab::succ_index(i, n)]);
+      if (r != stab::kDisabled) {
+        idx.push_back(i);
+        rules.push_back(r);
+      }
+    }
+  }
+
+  /// All successor configuration indices under the distributed daemon (one
+  /// per non-empty subset of the enabled set). Successors may repeat.
+  void successors(const Config& config, const std::vector<std::size_t>& idx,
+                  const std::vector<int>& rules,
+                  std::vector<std::uint64_t>& out) const {
+    out.clear();
+    const std::size_t n = config.size();
+    const std::size_t m = idx.size();
+    SSR_ASSERT(m < 20, "enabled set too large for subset enumeration");
+    Config next = config;
+    for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
+      // Composite atomicity: all selected read `config`, not `next`.
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (1u << k)) {
+          const std::size_t i = idx[k];
+          next[i] = protocol_.apply(i, rules[k], config[i],
+                                    config[stab::pred_index(i, n)],
+                                    config[stab::succ_index(i, n)]);
+        }
+      }
+      out.push_back(codec_.encode(next));
+      // Restore touched entries for the next mask.
+      for (std::size_t k = 0; k < m; ++k) {
+        if (mask & (1u << k)) next[idx[k]] = config[idx[k]];
+      }
+    }
+  }
+
+  P protocol_;
+  ConfigCodec<State> codec_;
+  LegitPredicate legit_;
+  PrivilegedCounter privileged_;
+};
+
+// --- implementation -------------------------------------------------------
+
+template <stab::RingProtocol P>
+CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
+  CheckReport report;
+  const std::uint64_t total = codec_.total();
+  report.total_configs = total;
+  report.min_privileged_anywhere = SIZE_MAX;
+
+  std::vector<std::size_t> idx;
+  std::vector<int> rules;
+  std::vector<std::uint64_t> succs;
+
+  // legit_flags doubles as the Lambda membership table for the convergence
+  // pass.
+  std::vector<std::uint8_t> legit_flags(total, 0);
+
+  for (std::uint64_t c = 0; c < total; ++c) {
+    const Config config = codec_.decode(c);
+    const bool legit = legit_(config);
+    legit_flags[c] = legit ? 1 : 0;
+    if (legit) ++report.legitimate_configs;
+
+    enabled(config, idx, rules);
+    if (options.check_deadlock && idx.empty() && report.deadlock_free) {
+      report.deadlock_free = false;
+      report.deadlock_witness = c;
+    }
+
+    const std::size_t priv = privileged_(config);
+    report.min_privileged_anywhere =
+        std::min(report.min_privileged_anywhere, priv);
+
+    if (legit && options.check_token_bounds && report.token_bounds_hold) {
+      if (priv < options.min_privileged || priv > options.max_privileged) {
+        report.token_bounds_hold = false;
+        report.token_witness = c;
+      }
+    }
+
+    if (legit && options.check_closure && report.closure_holds &&
+        !idx.empty()) {
+      successors(config, idx, rules, succs);
+      for (std::uint64_t s : succs) {
+        if (!legit_(codec_.decode(s))) {
+          report.closure_holds = false;
+          report.closure_witness = c;
+          break;
+        }
+      }
+    }
+  }
+  if (report.min_privileged_anywhere == SIZE_MAX)
+    report.min_privileged_anywhere = 0;
+
+  if (!options.check_convergence) return report;
+
+  // Convergence: every infinite execution reaches Lambda iff the directed
+  // graph restricted to illegitimate configurations is acyclic. While
+  // checking, compute height(c) = max steps to Lambda under the worst
+  // daemon (legitimate configs have height 0; edges into Lambda count 1).
+  // Iterative DFS with tri-coloring; heights memoized in `height`.
+  constexpr std::uint8_t kWhite = 0, kGray = 1, kBlack = 2;
+  std::vector<std::uint8_t> color(total, kWhite);
+  std::vector<std::uint32_t> height(total, 0);
+
+  struct Frame {
+    std::uint64_t node;
+    std::vector<std::uint64_t> succ;
+    std::size_t next = 0;
+    std::uint32_t best = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (std::uint64_t root = 0; root < total; ++root) {
+    if (legit_flags[root] || color[root] != kWhite) continue;
+    if (!report.convergence_holds) break;
+
+    stack.clear();
+    color[root] = kGray;
+    {
+      Frame f;
+      f.node = root;
+      const Config config = codec_.decode(root);
+      enabled(config, idx, rules);
+      if (idx.empty()) {
+        // Deadlocked illegitimate config: convergence fails (no execution
+        // continues, so Lambda is never reached). Reported via
+        // deadlock_free; treat as height 0 here.
+        color[root] = kBlack;
+        continue;
+      }
+      successors(config, idx, rules, f.succ);
+      stack.push_back(std::move(f));
+    }
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.succ.size()) {
+        const std::uint64_t s = f.succ[f.next++];
+        if (legit_flags[s]) {
+          f.best = std::max(f.best, 1u);
+          continue;
+        }
+        if (color[s] == kGray) {
+          report.convergence_holds = false;
+          report.cycle_witness = s;
+          break;
+        }
+        if (color[s] == kBlack) {
+          f.best = std::max(f.best, height[s] + 1);
+          continue;
+        }
+        // White illegitimate successor: descend.
+        color[s] = kGray;
+        Frame child;
+        child.node = s;
+        const Config config = codec_.decode(s);
+        enabled(config, idx, rules);
+        SSR_ASSERT(!idx.empty() || !report.deadlock_free,
+                   "unexpected deadlock during convergence pass");
+        if (!idx.empty()) {
+          successors(config, idx, rules, child.succ);
+          stack.push_back(std::move(child));
+        } else {
+          color[s] = kBlack;
+        }
+        continue;
+      }
+      // All successors processed: finalize.
+      color[f.node] = kBlack;
+      height[f.node] = f.best;
+      if (f.best > report.worst_case_steps) {
+        report.worst_case_steps = f.best;
+        report.worst_case_witness = f.node;
+      }
+      const std::uint32_t done_height = f.best;
+      const std::uint64_t done_node = f.node;
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        (void)done_node;
+        parent.best = std::max(parent.best, done_height + 1);
+      }
+    }
+  }
+
+  if (options.keep_heights && report.convergence_holds) {
+    report.heights = std::move(height);
+  }
+
+  return report;
+}
+
+}  // namespace ssr::verify

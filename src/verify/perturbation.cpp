@@ -1,0 +1,76 @@
+#include "verify/perturbation.hpp"
+
+#include <sstream>
+
+#include "core/legitimacy.hpp"
+#include "verify/checkers.hpp"
+
+namespace ssr::verify {
+
+std::string PerturbationReport::summary() const {
+  std::ostringstream os;
+  os << "n=" << n << " K=" << k << " cases=" << cases
+     << " still_legit=" << still_legitimate
+     << " max_recovery=" << max_recovery_steps
+     << " mean_recovery=" << mean_recovery_steps
+     << " global_worst=" << global_worst_case
+     << " safety=" << (safety_preserved ? "preserved" : "VIOLATED");
+  return os.str();
+}
+
+PerturbationReport analyze_single_faults(std::size_t n, std::uint32_t K) {
+  PerturbationReport report;
+  report.n = n;
+  report.k = K;
+
+  auto checker = make_ssrmin_checker(n, K);
+  CheckOptions options;
+  options.keep_heights = true;
+  const CheckReport check = checker.run(options);
+  SSR_REQUIRE(check.all_ok(), "base protocol failed verification: " +
+                                  check.summary());
+  SSR_REQUIRE(!check.heights.empty(), "height table missing");
+  report.global_worst_case = check.worst_case_steps;
+
+  const core::SsrMinRing ring(n, K);
+  const auto legit_configs = core::enumerate_legitimate(ring);
+  const std::uint32_t states = 4 * K;
+
+  std::uint64_t total_recovery = 0;
+  for (const auto& base : legit_configs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t original = core::encode_state(base[i], K);
+      for (std::uint32_t wrong = 0; wrong < states; ++wrong) {
+        if (wrong == original) continue;
+        core::SsrConfig perturbed = base;
+        perturbed[i] = core::decode_state(wrong, K);
+        ++report.cases;
+
+        if (core::privileged_count(ring, perturbed) == 0) {
+          report.safety_preserved = false;
+        }
+        if (core::is_legitimate(ring, perturbed)) {
+          ++report.still_legitimate;
+          continue;
+        }
+        const std::uint64_t code = checker.codec().encode(perturbed);
+        const std::uint32_t recovery = check.heights[code];
+        total_recovery += recovery;
+        report.max_recovery_steps =
+            std::max<std::uint64_t>(report.max_recovery_steps, recovery);
+        if (report.histogram.size() <= recovery) {
+          report.histogram.resize(recovery + 1, 0);
+        }
+        ++report.histogram[recovery];
+      }
+    }
+  }
+  const std::uint64_t recovering = report.cases - report.still_legitimate;
+  report.mean_recovery_steps =
+      recovering == 0 ? 0.0
+                      : static_cast<double>(total_recovery) /
+                            static_cast<double>(recovering);
+  return report;
+}
+
+}  // namespace ssr::verify

@@ -1,0 +1,52 @@
+// Single-transient-fault analysis — the superstabilization-flavored
+// question the paper leaves as future work (§6, pointing at Herman 2000
+// and Katayama et al. 2002): starting from a legitimate configuration,
+// corrupt ONE process with an arbitrary wrong state. How fast does SSRmin
+// re-stabilize, and is the mutual-inclusion safety predicate ("at least
+// one privileged process") ever violated on the way?
+//
+// The analysis is exhaustive: every legitimate configuration x every
+// process x every wrong local state, with the exact worst-case recovery
+// length taken from the model checker's height function. The headline
+// results (see bench_perturbation):
+//   * safety is never violated — a single fault cannot extinguish all
+//     tokens in the state-reading model (Lemma 3 is fault-proof);
+//   * single-fault recovery is far below the global worst case, the
+//     superstabilizing-flavored locality property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssr::verify {
+
+struct PerturbationReport {
+  std::size_t n = 0;
+  std::uint32_t k = 0;
+  /// Number of (legitimate configuration, process, wrong state) cases.
+  std::uint64_t cases = 0;
+  /// Cases whose perturbed configuration is still legitimate (the fault
+  /// landed on a state that is valid in context).
+  std::uint64_t still_legitimate = 0;
+  /// Worst-case recovery steps over all single-fault cases (under the
+  /// adversarial distributed daemon).
+  std::uint64_t max_recovery_steps = 0;
+  double mean_recovery_steps = 0.0;
+  /// histogram[s] = number of cases with worst-case recovery exactly s.
+  std::vector<std::uint64_t> histogram;
+  /// True iff every perturbed configuration still has >= 1 privileged
+  /// process (mutual-inclusion safety through the fault).
+  bool safety_preserved = true;
+  /// Worst-case stabilization from *anywhere* (the Theorem 2 figure), for
+  /// comparison with max_recovery_steps.
+  std::uint64_t global_worst_case = 0;
+
+  std::string summary() const;
+};
+
+/// Exhaustive single-fault analysis of SSRmin for the given ring size and
+/// modulus (small n: the full configuration graph is explored).
+PerturbationReport analyze_single_faults(std::size_t n, std::uint32_t K);
+
+}  // namespace ssr::verify

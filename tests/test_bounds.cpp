@@ -1,0 +1,65 @@
+// The paper's published bounds, asserted against measured/exhaustive
+// quantities: worst cases from the model checker must respect Theorem 2's
+// expression, Lemma 5's 3n, and the structural counts of Definition 1.
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "verify/checkers.hpp"
+
+namespace ssr::core {
+namespace {
+
+TEST(Bounds, PublishedExpressions) {
+  EXPECT_EQ(lemma5_rule_free_bound(5), 15u);
+  EXPECT_EQ(dijkstra_move_bound(5), 30u);
+  EXPECT_EQ(lemma7_bound(5), 79u);
+  EXPECT_EQ(lemma8_prefix_bound(5), 1500u);  // 60 n^2
+  EXPECT_EQ(theorem2_bound(5), 1579u);
+  EXPECT_EQ(states_per_process(6), 24u);
+  EXPECT_EQ(legitimate_count(5, 6), 90u);
+  EXPECT_EQ(revolution_steps(7), 21u);
+}
+
+TEST(Bounds, ExhaustiveWorstCasesRespectTheorem2) {
+  for (auto [n, K] : {std::pair<std::size_t, std::uint32_t>{3, 4},
+                      std::pair<std::size_t, std::uint32_t>{3, 5},
+                      std::pair<std::size_t, std::uint32_t>{4, 5}}) {
+    auto checker = verify::make_ssrmin_checker(n, K);
+    const auto report = checker.run();
+    ASSERT_TRUE(report.all_ok());
+    EXPECT_LE(report.worst_case_steps, theorem2_bound(n))
+        << "n=" << n << " K=" << K;
+    // The bound is loose by design: the exact worst case is far below it.
+    EXPECT_LT(report.worst_case_steps, theorem2_bound(n) / 10);
+    EXPECT_EQ(report.legitimate_configs, legitimate_count(n, K));
+  }
+}
+
+TEST(Bounds, DijkstraWorstCaseWithinMoveBoundPlusCirculation) {
+  for (std::size_t n : {3u, 4u, 5u}) {
+    const auto K = static_cast<std::uint32_t>(n + 1);
+    auto checker = verify::make_kstate_checker(n, K);
+    verify::CheckOptions options;
+    options.min_privileged = 1;
+    options.max_privileged = 1;
+    const auto report = checker.run(options);
+    ASSERT_TRUE(report.all_ok());
+    // Strict Definition-form target costs at most one extra circulation.
+    EXPECT_LE(report.worst_case_steps, dijkstra_move_bound(n) + 2 * n);
+  }
+}
+
+TEST(Bounds, StatesPerProcessMatchesProtocol) {
+  const SsrMinRing ring(5, 9);
+  EXPECT_EQ(ring.states_per_process(), states_per_process(9));
+}
+
+TEST(Bounds, EnumerationMatchesLegitimateCount) {
+  const SsrMinRing ring(6, 8);
+  EXPECT_EQ(enumerate_legitimate(ring).size(), legitimate_count(6, 8));
+}
+
+}  // namespace
+}  // namespace ssr::core

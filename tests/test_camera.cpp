@@ -1,0 +1,135 @@
+// Tests for the camera-network application layer: the coverage/energy
+// trade-off the paper's introduction motivates. SSRmin must deliver
+// perfect coverage at a fraction of the always-on energy bill; the raw
+// Dijkstra token leaves blackout windows.
+#include "inclusion/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "inclusion/critical_section.hpp"
+
+namespace ssr::incl {
+namespace {
+
+CameraParams small_params(std::uint64_t seed = 1) {
+  CameraParams p;
+  p.node_count = 6;
+  p.duration = 1500.0;
+  p.net.seed = seed;
+  return p;
+}
+
+TEST(CameraParams, Validation) {
+  CameraParams p = small_params();
+  EXPECT_NO_THROW(p.validate());
+  p.node_count = 2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = small_params();
+  p.duration = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = small_params();
+  p.initial_battery = 1000.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0}), 1.0);
+  // One node does everything out of four: index = 1/4.
+  EXPECT_DOUBLE_EQ(jain_fairness({8.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(Camera, SsrMinPerfectCoverage) {
+  const CameraReport r = run_camera(CameraPolicy::kSsrMin, small_params());
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(r.unmonitored_time, 0.0);
+  EXPECT_EQ(r.blackout_intervals, 0u);
+  EXPECT_GT(r.handovers, 10u);
+  // At most two cameras on at once on average (Theorem 1's band).
+  EXPECT_LE(r.mean_active, 2.0);
+  EXPECT_GE(r.mean_active, 1.0);
+}
+
+TEST(Camera, SsrMinDutyIsFairlyShared) {
+  const CameraReport r = run_camera(CameraPolicy::kSsrMin, small_params(3));
+  ASSERT_EQ(r.active_time.size(), 6u);
+  for (double t : r.active_time) EXPECT_GT(t, 0.0) << "a camera never served";
+  EXPECT_GT(r.duty_fairness, 0.8);
+}
+
+TEST(Camera, DijkstraLeavesBlackouts) {
+  const CameraReport r = run_camera(CameraPolicy::kDijkstra, small_params());
+  EXPECT_LT(r.coverage, 1.0);
+  EXPECT_GT(r.blackout_intervals, 0u);
+  EXPECT_GT(r.unmonitored_time, 0.0);
+}
+
+TEST(Camera, DualDijkstraBetterButNotPerfect) {
+  const CameraReport dual =
+      run_camera(CameraPolicy::kDualDijkstra, small_params());
+  EXPECT_GT(dual.unmonitored_time, 0.0);  // Figure 12: still blacks out
+}
+
+TEST(Camera, AllActiveIsPerfectButExpensive) {
+  const CameraParams p = small_params();
+  const CameraReport all = run_camera(CameraPolicy::kAllActive, p);
+  const CameraReport ssr = run_camera(CameraPolicy::kSsrMin, p);
+  EXPECT_DOUBLE_EQ(all.coverage, 1.0);
+  EXPECT_EQ(all.handovers, 0u);
+  // Energy: all-on burns ~n*drain*duration; SSRmin at most ~2 active.
+  EXPECT_GT(all.energy_consumed, 2.5 * ssr.energy_consumed);
+  // All-on drains batteries into the ground with these rates; SSRmin keeps
+  // them healthier.
+  EXPECT_LT(all.min_battery, ssr.min_battery);
+}
+
+TEST(Camera, BatteryStaysWithinPhysicalBounds) {
+  for (auto policy : {CameraPolicy::kSsrMin, CameraPolicy::kDijkstra,
+                      CameraPolicy::kAllActive}) {
+    const CameraParams p = small_params(9);
+    const CameraReport r = run_camera(policy, p);
+    ASSERT_EQ(r.final_battery.size(), p.node_count);
+    for (double b : r.final_battery) {
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, p.battery_capacity);
+    }
+  }
+}
+
+TEST(Camera, ReportDurationsMatchRequest) {
+  const CameraParams p = small_params(5);
+  const CameraReport r = run_camera(CameraPolicy::kSsrMin, p);
+  EXPECT_NEAR(r.duration, p.duration, 1e-6);
+  // Active time per node cannot exceed the run duration.
+  for (double t : r.active_time) EXPECT_LE(t, p.duration + 1e-9);
+}
+
+TEST(Camera, PolicyNames) {
+  EXPECT_EQ(to_string(CameraPolicy::kSsrMin), "ssrmin");
+  EXPECT_EQ(to_string(CameraPolicy::kDijkstra), "dijkstra");
+  EXPECT_EQ(to_string(CameraPolicy::kDualDijkstra), "dual-dijkstra");
+  EXPECT_EQ(to_string(CameraPolicy::kAllActive), "all-active");
+}
+
+TEST(Camera, SpecMonitorIntegration) {
+  // Route the SSRmin camera run through a (1,2)-CS monitor: zero
+  // violations expected.
+  const CameraParams p = small_params(13);
+  // run_camera already asserts coverage; here check with the spec monitor
+  // semantics over time-weighted data derived from the report.
+  const CameraReport r = run_camera(CameraPolicy::kSsrMin, p);
+  SpecMonitor monitor(ssrmin_spec());
+  // mean_active in [1,2] plus zero unmonitored time implies compliance of
+  // the time-weighted holder signal at the endpoints we can observe here.
+  EXPECT_GE(r.mean_active, 1.0);
+  EXPECT_LE(r.mean_active, 2.0);
+  monitor.observe_interval(r.duration - r.unmonitored_time, 1);
+  if (r.unmonitored_time > 0) {
+    monitor.observe_interval(r.unmonitored_time, 0);
+  }
+  EXPECT_TRUE(monitor.clean());
+}
+
+}  // namespace
+}  // namespace ssr::incl

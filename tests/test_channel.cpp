@@ -1,0 +1,115 @@
+// Tests for the bounded MPSC channel used by the threaded runtime.
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ssr::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Channel, PushPopFifo) {
+  Channel<int> ch(8);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  EXPECT_TRUE(ch.push(3));
+  EXPECT_EQ(ch.pop(1ms), 1);
+  EXPECT_EQ(ch.pop(1ms), 2);
+  EXPECT_EQ(ch.pop(1ms), 3);
+}
+
+TEST(Channel, PopTimesOutWhenEmpty) {
+  Channel<int> ch(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ch.pop(20ms), std::nullopt);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 15ms);
+}
+
+TEST(Channel, OverflowDropsOldest) {
+  Channel<int> ch(3);
+  for (int i = 1; i <= 5; ++i) ch.push(i);
+  // 1 and 2 were evicted; the newest three remain in order.
+  EXPECT_EQ(ch.pop(1ms), 3);
+  EXPECT_EQ(ch.pop(1ms), 4);
+  EXPECT_EQ(ch.pop(1ms), 5);
+  EXPECT_EQ(ch.pop(1ms), std::nullopt);
+}
+
+TEST(Channel, CloseFailsFurtherPushes) {
+  Channel<int> ch(4);
+  ch.push(1);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.push(2));
+  // Already-queued items drain, then nullopt.
+  EXPECT_EQ(ch.pop(1ms), 1);
+  EXPECT_EQ(ch.pop(1ms), std::nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedPopper) {
+  Channel<int> ch(4);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    // A long timeout that close() must cut short.
+    ch.pop(5s);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  ch.close();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Channel, RejectsZeroCapacity) {
+  EXPECT_THROW(Channel<int>(0), std::invalid_argument);
+}
+
+TEST(Channel, SizeReflectsQueue) {
+  Channel<int> ch(4);
+  EXPECT_EQ(ch.size(), 0u);
+  ch.push(1);
+  ch.push(2);
+  EXPECT_EQ(ch.size(), 2u);
+  ch.pop(1ms);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Channel, MultipleProducersSingleConsumer) {
+  // Capacity covers the full volume: nothing may be dropped, every message
+  // must arrive exactly once even with concurrent producers.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  Channel<int> ch(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.push(p * kPerProducer + i);
+    });
+  }
+  int received = 0;
+  std::vector<int> per_producer(kProducers, 0);
+  while (received < kProducers * kPerProducer) {
+    const auto v = ch.pop(500ms);
+    ASSERT_TRUE(v.has_value()) << "lost messages under concurrency";
+    ++per_producer[*v / kPerProducer];
+    ++received;
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(per_producer[p], kPerProducer);
+  for (auto& t : producers) t.join();
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch(2);
+  ch.push(std::make_unique<int>(42));
+  auto v = ch.pop(1ms);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace ssr::runtime

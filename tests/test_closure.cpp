@@ -1,0 +1,146 @@
+// Closure (Lemma 1) and the inchworm movement pattern (Figure 1):
+// from every legitimate configuration exactly one process is enabled, the
+// successor configuration is legitimate, and over a full revolution the
+// primary/secondary tokens sweep the ring in the documented order.
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+
+namespace ssr::core {
+namespace {
+
+class Closure
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(Closure, EveryLegitimateConfigHasUniqueEnabledAndLegitSuccessor) {
+  const auto [n, K] = GetParam();
+  const SsrMinRing ring(n, K);
+  for (const auto& config : enumerate_legitimate(ring)) {
+    stab::Engine<SsrMinRing> engine(ring, config);
+    const auto enabled = engine.enabled_indices();
+    ASSERT_EQ(enabled.size(), 1u)
+        << "legitimate configurations have exactly one enabled process";
+    engine.step(enabled);
+    EXPECT_TRUE(is_legitimate(ring, engine.config()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RingSizesAndModuli, Closure,
+    ::testing::Values(std::make_pair(std::size_t{3}, std::uint32_t{4}),
+                      std::make_pair(std::size_t{4}, std::uint32_t{5}),
+                      std::make_pair(std::size_t{5}, std::uint32_t{6}),
+                      std::make_pair(std::size_t{7}, std::uint32_t{8}),
+                      std::make_pair(std::size_t{10}, std::uint32_t{11}),
+                      // K well above the n+1 minimum.
+                      std::make_pair(std::size_t{3}, std::uint32_t{9}),
+                      std::make_pair(std::size_t{5}, std::uint32_t{16}),
+                      std::make_pair(std::size_t{7}, std::uint32_t{29})));
+
+TEST(Closure, FullCycleReturnsToStart) {
+  // Lemma 1's part (b): gamma_0 is reachable from gamma_0. One revolution
+  // takes 3n steps and increments x by one everywhere; after K revolutions
+  // (3nK steps) the configuration is exactly gamma_0 again.
+  const std::size_t n = 5;
+  const std::uint32_t K = 6;
+  const SsrMinRing ring(n, K);
+  const SsrConfig start = canonical_legitimate(ring, 0);
+  stab::Engine<SsrMinRing> engine(ring, start);
+  stab::SynchronousDaemon daemon;  // only one process is ever enabled
+  for (std::size_t t = 0; t < 3 * n * K; ++t) {
+    ASSERT_TRUE(engine.step_with(daemon));
+    ASSERT_TRUE(is_legitimate(ring, engine.config())) << "step " << t;
+  }
+  EXPECT_EQ(engine.config(), start);
+}
+
+TEST(Closure, RevolutionTakesThreeNSteps) {
+  const std::size_t n = 7;
+  const SsrMinRing ring(n, 8);
+  stab::Engine<SsrMinRing> engine(ring, canonical_legitimate(ring, 2));
+  stab::SynchronousDaemon daemon;
+  for (std::size_t t = 0; t < 3 * n; ++t) {
+    ASSERT_TRUE(engine.step_with(daemon));
+  }
+  // After one revolution every x is incremented and P0 holds both tokens.
+  const auto info = classify_legitimate(ring, engine.config());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->primary_holder, 0u);
+  EXPECT_EQ(info->shape, LegitimateShape::kHolderTra);
+  for (const auto& s : engine.config()) EXPECT_EQ(s.x, 3u);
+}
+
+TEST(Closure, InchwormOrderOfShapes) {
+  // Within one hop the shapes cycle kHolderTra -> kHolderRts ->
+  // kHandoffPending -> (next holder) kHolderTra — the two-token inchworm of
+  // Figure 1.
+  const std::size_t n = 4;
+  const SsrMinRing ring(n, 5);
+  stab::Engine<SsrMinRing> engine(ring, canonical_legitimate(ring, 0));
+  stab::SynchronousDaemon daemon;
+  std::size_t expected_holder = 0;
+  for (std::size_t hop = 0; hop < 2 * n; ++hop) {
+    auto info = classify_legitimate(ring, engine.config());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->primary_holder, expected_holder);
+    EXPECT_EQ(info->shape, LegitimateShape::kHolderTra);
+
+    ASSERT_TRUE(engine.step_with(daemon));
+    info = classify_legitimate(ring, engine.config());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->primary_holder, expected_holder);
+    EXPECT_EQ(info->shape, LegitimateShape::kHolderRts);
+
+    ASSERT_TRUE(engine.step_with(daemon));
+    info = classify_legitimate(ring, engine.config());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->primary_holder, expected_holder);
+    EXPECT_EQ(info->shape, LegitimateShape::kHandoffPending);
+
+    ASSERT_TRUE(engine.step_with(daemon));
+    expected_holder = stab::succ_index(expected_holder, n);
+  }
+}
+
+TEST(Closure, EveryProcessEventuallyPrivileged) {
+  // No starvation in legitimate executions: each process holds a token at
+  // some point of a revolution.
+  const std::size_t n = 6;
+  const SsrMinRing ring(n, 7);
+  stab::Engine<SsrMinRing> engine(ring, canonical_legitimate(ring, 1));
+  stab::SynchronousDaemon daemon;
+  std::vector<bool> was_privileged(n, false);
+  for (std::size_t t = 0; t < 3 * n + 1; ++t) {
+    const auto holdings = token_holdings(ring, engine.config());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (holdings[i].primary || holdings[i].secondary)
+        was_privileged[i] = true;
+    }
+    if (t < 3 * n) {
+      ASSERT_TRUE(engine.step_with(daemon));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(was_privileged[i]) << "process " << i << " starved";
+  }
+}
+
+TEST(Closure, PrivilegedCountAlwaysOneOrTwoAlongExecution) {
+  const std::size_t n = 9;
+  const SsrMinRing ring(n, 11);
+  stab::Engine<SsrMinRing> engine(ring, canonical_legitimate(ring, 5));
+  stab::CentralRandomDaemon daemon{Rng(3)};
+  for (int t = 0; t < 500; ++t) {
+    const std::size_t priv = privileged_count(ring, engine.config());
+    ASSERT_GE(priv, 1u);
+    ASSERT_LE(priv, 2u);
+    ASSERT_TRUE(engine.step_with(daemon));
+  }
+}
+
+}  // namespace
+}  // namespace ssr::core

@@ -1,0 +1,78 @@
+// Tests for the (l, k)-critical-section specification layer.
+#include "inclusion/critical_section.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::incl {
+namespace {
+
+TEST(Spec, Satisfaction) {
+  const CriticalSectionSpec spec{1, 2};
+  EXPECT_FALSE(spec.satisfied_by(0));
+  EXPECT_TRUE(spec.satisfied_by(1));
+  EXPECT_TRUE(spec.satisfied_by(2));
+  EXPECT_FALSE(spec.satisfied_by(3));
+}
+
+TEST(Spec, Factories) {
+  EXPECT_EQ(mutual_exclusion_spec().min_in_cs, 0u);
+  EXPECT_EQ(mutual_exclusion_spec().max_in_cs, 1u);
+  EXPECT_EQ(mutual_inclusion_spec(7).min_in_cs, 1u);
+  EXPECT_EQ(mutual_inclusion_spec(7).max_in_cs, 7u);
+  EXPECT_EQ(ssrmin_spec().min_in_cs, 1u);
+  EXPECT_EQ(ssrmin_spec().max_in_cs, 2u);
+  EXPECT_THROW(mutual_inclusion_spec(0), std::invalid_argument);
+}
+
+TEST(Spec, ToString) {
+  EXPECT_EQ(ssrmin_spec().to_string(), "(1, 2)-critical-section");
+}
+
+TEST(Monitor, CountsViolationsBothDirections) {
+  SpecMonitor m(ssrmin_spec());
+  m.observe(1);
+  m.observe(2);
+  m.observe(0);  // below
+  m.observe(3);  // above
+  m.observe(1);
+  EXPECT_EQ(m.observations(), 5u);
+  EXPECT_EQ(m.violations_below(), 1u);
+  EXPECT_EQ(m.violations_above(), 1u);
+  EXPECT_FALSE(m.clean());
+}
+
+TEST(Monitor, CleanWhenAlwaysInBand) {
+  SpecMonitor m(ssrmin_spec());
+  for (int i = 0; i < 100; ++i) m.observe(1 + (i % 2));
+  EXPECT_TRUE(m.clean());
+}
+
+TEST(Monitor, TimeWeightedCompliance) {
+  SpecMonitor m(ssrmin_spec());
+  m.observe_interval(9.0, 1);
+  m.observe_interval(1.0, 0);
+  EXPECT_DOUBLE_EQ(m.observed_time(), 10.0);
+  EXPECT_DOUBLE_EQ(m.violation_time(), 1.0);
+  EXPECT_DOUBLE_EQ(m.compliance(), 0.9);
+}
+
+TEST(Monitor, ComplianceIsOneWithoutObservations) {
+  SpecMonitor m(mutual_exclusion_spec());
+  EXPECT_DOUBLE_EQ(m.compliance(), 1.0);
+}
+
+TEST(Monitor, NegativeIntervalRejected) {
+  SpecMonitor m(ssrmin_spec());
+  EXPECT_THROW(m.observe_interval(-1.0, 1), std::invalid_argument);
+}
+
+TEST(Monitor, MutualExclusionViewOfSsrMinViolates) {
+  // SSRmin is NOT a mutual exclusion algorithm: two privileged processes
+  // are legal. A mutual-exclusion monitor flags them.
+  SpecMonitor m(mutual_exclusion_spec());
+  m.observe(2);
+  EXPECT_EQ(m.violations_above(), 1u);
+}
+
+}  // namespace
+}  // namespace ssr::incl

@@ -1,0 +1,165 @@
+// Unit tests for the scheduler (daemon) implementations.
+#include "stabilizing/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ssr::stab {
+namespace {
+
+EnabledView make_view(const std::vector<std::size_t>& idx,
+                      const std::vector<int>& rules, std::size_t n) {
+  return EnabledView{idx, rules, n};
+}
+
+bool is_subset(const std::vector<std::size_t>& sel,
+               const std::vector<std::size_t>& enabled) {
+  return std::all_of(sel.begin(), sel.end(), [&](std::size_t id) {
+    return std::find(enabled.begin(), enabled.end(), id) != enabled.end();
+  });
+}
+
+TEST(CentralRoundRobin, PicksExactlyOneEnabled) {
+  CentralRoundRobinDaemon d;
+  const std::vector<std::size_t> enabled{1, 3, 4};
+  const std::vector<int> rules{1, 1, 1};
+  for (int i = 0; i < 20; ++i) {
+    auto sel = d.select(make_view(enabled, rules, 6));
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_TRUE(is_subset(sel, enabled));
+  }
+}
+
+TEST(CentralRoundRobin, CyclesThroughProcesses) {
+  CentralRoundRobinDaemon d;
+  const std::vector<std::size_t> enabled{0, 1, 2};
+  const std::vector<int> rules{1, 1, 1};
+  std::vector<std::size_t> order;
+  for (int i = 0; i < 6; ++i) {
+    order.push_back(d.select(make_view(enabled, rules, 3))[0]);
+  }
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CentralRoundRobin, SkipsDisabledIds) {
+  CentralRoundRobinDaemon d;
+  const std::vector<int> rules{1};
+  // Only process 4 enabled; cursor must wrap to find it repeatedly.
+  for (int i = 0; i < 5; ++i) {
+    auto sel = d.select(make_view({4}, rules, 6));
+    EXPECT_EQ(sel, std::vector<std::size_t>{4});
+  }
+}
+
+TEST(CentralRandom, AlwaysSingletonSubset) {
+  CentralRandomDaemon d{Rng(1)};
+  const std::vector<std::size_t> enabled{0, 2, 5, 7};
+  const std::vector<int> rules{1, 2, 3, 4};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto sel = d.select(make_view(enabled, rules, 8));
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_TRUE(is_subset(sel, enabled));
+    seen.insert(sel[0]);
+  }
+  // All four enabled processes should be hit over 200 draws.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Synchronous, SelectsAllEnabled) {
+  SynchronousDaemon d;
+  const std::vector<std::size_t> enabled{1, 2, 6};
+  const std::vector<int> rules{1, 1, 1};
+  EXPECT_EQ(d.select(make_view(enabled, rules, 8)), enabled);
+}
+
+TEST(RandomSubset, NonEmptySubsetAlways) {
+  RandomSubsetDaemon d{Rng(2), 0.25};
+  const std::vector<std::size_t> enabled{0, 1, 2, 3};
+  const std::vector<int> rules{1, 1, 1, 1};
+  for (int i = 0; i < 500; ++i) {
+    auto sel = d.select(make_view(enabled, rules, 4));
+    ASSERT_FALSE(sel.empty());
+    EXPECT_TRUE(is_subset(sel, enabled));
+  }
+}
+
+TEST(RandomSubset, ProbabilityOneSelectsAll) {
+  RandomSubsetDaemon d{Rng(2), 1.0};
+  const std::vector<std::size_t> enabled{0, 3};
+  const std::vector<int> rules{1, 1};
+  EXPECT_EQ(d.select(make_view(enabled, rules, 4)), enabled);
+}
+
+TEST(RandomSubset, RejectsBadProbability) {
+  EXPECT_THROW(RandomSubsetDaemon(Rng(1), 0.0), std::invalid_argument);
+  EXPECT_THROW(RandomSubsetDaemon(Rng(1), 1.5), std::invalid_argument);
+}
+
+TEST(RuleAvoiding, PrefersNonAvoidedRules) {
+  RuleAvoidingDaemon d{Rng(3), {2, 4}};
+  const std::vector<std::size_t> enabled{0, 1, 2};
+  const std::vector<int> rules{2, 3, 4};  // only P1 has a non-avoided rule
+  for (int i = 0; i < 50; ++i) {
+    auto sel = d.select(make_view(enabled, rules, 3));
+    EXPECT_EQ(sel, std::vector<std::size_t>{1});
+  }
+  EXPECT_EQ(d.forced_steps(), 0u);
+}
+
+TEST(RuleAvoiding, ForcedWhenOnlyAvoidedRulesEnabled) {
+  RuleAvoidingDaemon d{Rng(3), {2, 4}};
+  const std::vector<std::size_t> enabled{0, 1};
+  const std::vector<int> rules{2, 4};
+  auto sel = d.select(make_view(enabled, rules, 3));
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_TRUE(is_subset(sel, enabled));
+  EXPECT_EQ(d.forced_steps(), 1u);
+}
+
+TEST(Starving, NeverPicksVictimUnlessAlone) {
+  StarvingDaemon d{Rng(4), 2};
+  const std::vector<std::size_t> enabled{0, 2, 3};
+  const std::vector<int> rules{1, 1, 1};
+  for (int i = 0; i < 100; ++i) {
+    auto sel = d.select(make_view(enabled, rules, 4));
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_NE(sel[0], 2u);
+  }
+  // Victim alone: must be selected (the daemon must pick something).
+  auto sel = d.select(make_view({2}, {1}, 4));
+  EXPECT_EQ(sel, std::vector<std::size_t>{2});
+}
+
+TEST(MaxIndex, PicksHighestId) {
+  MaxIndexDaemon d;
+  EXPECT_EQ(d.select(make_view({0, 3, 5}, {1, 1, 1}, 6)),
+            std::vector<std::size_t>{5});
+}
+
+TEST(Factory, MakesEveryAdvertisedDaemon) {
+  for (const auto& name : daemon_names()) {
+    auto d = make_daemon(name, Rng(9));
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_EQ(d->name(), name);
+    auto sel = d->select(make_view({0, 1}, {1, 1}, 3));
+    EXPECT_FALSE(sel.empty()) << name;
+  }
+}
+
+TEST(Factory, RejectsUnknownName) {
+  EXPECT_THROW(make_daemon("no-such-daemon", Rng(1)), std::invalid_argument);
+}
+
+TEST(AllDaemons, RejectEmptyEnabledSet) {
+  for (const auto& name : daemon_names()) {
+    auto d = make_daemon(name, Rng(5));
+    EXPECT_THROW(d->select(make_view({}, {}, 4)), std::invalid_argument)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace ssr::stab

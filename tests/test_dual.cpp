@@ -1,0 +1,130 @@
+// Tests for the two-independent-Dijkstra-instances baseline (Figure 12's
+// naive multi-token construction).
+#include "dijkstra/dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+
+namespace ssr::dijkstra {
+namespace {
+
+DualConfig make_config(std::initializer_list<std::pair<std::uint32_t, std::uint32_t>> xs) {
+  DualConfig c;
+  for (auto [a, b] : xs) c.push_back(DualLocal{a, b});
+  return c;
+}
+
+TEST(DualRing, RuleSelection) {
+  DualKStateRing ring(3, 4);
+  // P1: instance A enabled (a1 != a0), instance B disabled (b1 == b0).
+  const DualConfig c = make_config({{1, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(ring.enabled_rule(1, c[1], c[0], c[2]), DualKStateRing::kRuleA);
+  // P0 (bottom): A needs a0 == a2 -> 1 == 0 false; B: 0 == 0 true.
+  EXPECT_EQ(ring.enabled_rule(0, c[0], c[2], c[1]), DualKStateRing::kRuleB);
+  // P2: A: a2 == a1? others guard is inequality: 0 != 0 false; B same.
+  EXPECT_EQ(ring.enabled_rule(2, c[2], c[1], c[0]), stab::kDisabled);
+}
+
+TEST(DualRing, BothInstancesEnabledUsesCombinedRule) {
+  DualKStateRing ring(3, 4);
+  const DualConfig c = make_config({{0, 0}, {1, 1}, {1, 1}});
+  // P0: A: 0 == 1? bottom guard equality with pred P2 -> 0 == 1 false.
+  // P1: A: 1 != 0 true, B: 1 != 0 true -> both.
+  EXPECT_EQ(ring.enabled_rule(1, c[1], c[0], c[2]), DualKStateRing::kRuleBoth);
+  const DualLocal next = ring.apply(1, DualKStateRing::kRuleBoth, c[1], c[0], c[2]);
+  EXPECT_EQ(next.a, 0u);
+  EXPECT_EQ(next.b, 0u);
+}
+
+TEST(DualRing, ApplySingleInstanceLeavesOtherUntouched) {
+  DualKStateRing ring(3, 4);
+  const DualConfig c = make_config({{1, 2}, {0, 2}, {0, 2}});
+  ASSERT_EQ(ring.enabled_rule(1, c[1], c[0], c[2]), DualKStateRing::kRuleA);
+  const DualLocal next = ring.apply(1, DualKStateRing::kRuleA, c[1], c[0], c[2]);
+  EXPECT_EQ(next.a, 1u);
+  EXPECT_EQ(next.b, 2u);
+}
+
+TEST(DualRing, ApplyRejectsWrongRule) {
+  DualKStateRing ring(3, 4);
+  const DualConfig c = make_config({{1, 2}, {0, 2}, {0, 2}});
+  EXPECT_THROW(ring.apply(1, DualKStateRing::kRuleB, c[1], c[0], c[2]),
+               std::invalid_argument);
+  EXPECT_THROW(ring.apply(1, 99, c[1], c[0], c[2]), std::invalid_argument);
+}
+
+TEST(DualRing, TokenCountSumsInstances) {
+  DualKStateRing ring(3, 4);
+  // All equal in both instances: bottom holds both tokens.
+  const DualConfig c = make_config({{0, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(token_count(ring, c), 2u);
+  EXPECT_EQ(privileged_count(ring, c), 1u);  // both tokens at P0
+  EXPECT_TRUE(is_legitimate(ring, c));
+}
+
+TEST(DualRing, TokensAtDifferentProcesses) {
+  DualKStateRing ring(4, 5);
+  // Instance A token at P1 (a: 1,0,0,0); instance B token at P3
+  // (b: 1,1,1,0).
+  const DualConfig c =
+      make_config({{1, 1}, {0, 1}, {0, 1}, {0, 0}});
+  EXPECT_EQ(token_count(ring, c), 2u);
+  EXPECT_EQ(privileged_count(ring, c), 2u);
+  EXPECT_TRUE(is_legitimate(ring, c));
+}
+
+TEST(DualRing, IllegitimateWhenAnInstanceHasManyTokens) {
+  DualKStateRing ring(4, 5);
+  const DualConfig c =
+      make_config({{1, 0}, {0, 0}, {1, 0}, {0, 0}});  // A has 3+ tokens
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(DualRing, AlwaysAtLeastOnePrivileged) {
+  // Each instance always has >= 1 token, so privileged_count >= 1 in every
+  // configuration (the state-reading guarantee Figure 12 contrasts with).
+  DualKStateRing ring(3, 4);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const DualConfig c = random_config(ring, rng);
+    EXPECT_GE(privileged_count(ring, c), 1u);
+    EXPECT_GE(token_count(ring, c), 2u);
+  }
+}
+
+class DualConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualConvergence, BothInstancesStabilize) {
+  const std::size_t n = 6;
+  DualKStateRing ring(n, 7);
+  Rng rng(GetParam());
+  stab::Engine<DualKStateRing> engine(ring, random_config(ring, rng));
+  stab::RandomSubsetDaemon daemon{Rng(GetParam() + 100), 0.5};
+  auto legit = [&ring](const DualConfig& c) { return is_legitimate(ring, c); };
+  const auto result = stab::run_until(engine, daemon, legit, 20000);
+  EXPECT_TRUE(result.reached) << "seed=" << GetParam();
+  // Once legitimate, stays legitimate.
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_TRUE(engine.step_with(daemon));
+    ASSERT_TRUE(is_legitimate(ring, engine.config()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualConvergence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DualTraceStyle, MarksPerInstanceTokens) {
+  DualKStateRing ring(3, 4);
+  auto style = trace_style(ring);
+  const DualConfig c = make_config({{0, 1}, {0, 0}, {0, 0}});
+  EXPECT_EQ(style.format_state(c[0]), "0|1");
+  // P0: A token (all equal); B token? bottom: b0 == b2 -> 1 == 0 no.
+  EXPECT_EQ(style.annotate(c, 0), "T1");
+  // P1: B: b1 != b0 -> 0 != 1 yes.
+  EXPECT_EQ(style.annotate(c, 1), "T2");
+}
+
+}  // namespace
+}  // namespace ssr::dijkstra

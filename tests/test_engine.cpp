@@ -1,0 +1,194 @@
+// Tests for the composite-atomicity execution engine, driven with the
+// Dijkstra K-state protocol as the concrete workload.
+#include "stabilizing/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dijkstra/kstate.hpp"
+#include "stabilizing/daemon.hpp"
+
+namespace ssr::stab {
+namespace {
+
+using dijkstra::KStateConfig;
+using dijkstra::KStateLocal;
+using dijkstra::KStateRing;
+
+KStateConfig make_config(std::initializer_list<std::uint32_t> xs) {
+  KStateConfig c;
+  for (auto x : xs) c.push_back(KStateLocal{x});
+  return c;
+}
+
+TEST(Engine, RejectsSizeMismatch) {
+  KStateRing ring(4, 5);
+  EXPECT_THROW(Engine<KStateRing>(ring, make_config({0, 0, 0})),
+               std::invalid_argument);
+}
+
+TEST(Engine, EnabledSetMatchesGuards) {
+  KStateRing ring(4, 5);
+  // (2, 0, 0, 0): P0 disabled (x0 != x3), P1 enabled (x1 != x0).
+  Engine<KStateRing> engine(ring, make_config({2, 0, 0, 0}));
+  EXPECT_EQ(engine.enabled_rule(0), kDisabled);
+  EXPECT_EQ(engine.enabled_rule(1), KStateRing::kRule);
+  EXPECT_EQ(engine.enabled_rule(2), kDisabled);
+  EXPECT_EQ(engine.enabled_rule(3), kDisabled);
+  EXPECT_EQ(engine.enabled_indices(), std::vector<std::size_t>{1});
+}
+
+TEST(Engine, StepAppliesCommand) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({2, 0, 0, 0}));
+  const std::vector<std::size_t> sel{1};
+  auto rules = engine.step(sel);
+  EXPECT_EQ(rules, std::vector<int>{KStateRing::kRule});
+  EXPECT_EQ(engine.config()[1].x, 2u);
+  EXPECT_EQ(engine.steps(), 1u);
+  EXPECT_EQ(engine.moves(), 1u);
+}
+
+TEST(Engine, BottomIncrementsModK) {
+  KStateRing ring(3, 4);
+  Engine<KStateRing> engine(ring, make_config({3, 3, 3}));
+  ASSERT_EQ(engine.enabled_rule(0), KStateRing::kRule);
+  const std::vector<std::size_t> sel{0};
+  engine.step(sel);
+  EXPECT_EQ(engine.config()[0].x, 0u);  // (3 + 1) mod 4
+}
+
+TEST(Engine, CompositeAtomicityReadsPreStepStates) {
+  KStateRing ring(4, 5);
+  // (1, 0, 0, 0): P1 enabled; P0 also? x0=1 vs x3=0 -> bottom guard is
+  // equality -> disabled. Make two enabled: (1, 0, 1, 1): P1 (0!=1) and
+  // P3? x3=1, x2=1 -> disabled. P2: 1!=0 enabled. P0: x0=1,x3=1 -> enabled.
+  Engine<KStateRing> engine(ring, make_config({1, 0, 1, 1}));
+  auto enabled = engine.enabled_indices();
+  ASSERT_EQ(enabled, (std::vector<std::size_t>{0, 1, 2}));
+  // Move P1 and P2 simultaneously: both must read pre-step neighbors.
+  const std::vector<std::size_t> sel{1, 2};
+  engine.step(sel);
+  // P1 copies old x0 = 1; P2 copies old x1 = 0 (not P1's new value).
+  EXPECT_EQ(engine.config()[1].x, 1u);
+  EXPECT_EQ(engine.config()[2].x, 0u);
+  EXPECT_EQ(engine.moves(), 2u);
+  EXPECT_EQ(engine.steps(), 1u);
+}
+
+TEST(Engine, StepRejectsDisabledProcess) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({2, 0, 0, 0}));
+  const std::vector<std::size_t> sel{2};
+  EXPECT_THROW(engine.step(sel), std::invalid_argument);
+}
+
+TEST(Engine, StepRejectsEmptySelection) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({2, 0, 0, 0}));
+  const std::vector<std::size_t> sel{};
+  EXPECT_THROW(engine.step(sel), std::invalid_argument);
+}
+
+TEST(Engine, StepRejectsOutOfRangeIndex) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({2, 0, 0, 0}));
+  const std::vector<std::size_t> sel{9};
+  EXPECT_THROW(engine.step(sel), std::invalid_argument);
+}
+
+TEST(Engine, CorruptInjectsTransientFault) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({0, 0, 0, 0}));
+  engine.corrupt(2, KStateLocal{4});
+  EXPECT_EQ(engine.config()[2].x, 4u);
+  EXPECT_THROW(engine.corrupt(7, KStateLocal{0}), std::invalid_argument);
+}
+
+TEST(Engine, ResetReplacesConfiguration) {
+  KStateRing ring(3, 4);
+  Engine<KStateRing> engine(ring, make_config({0, 0, 0}));
+  engine.reset(make_config({1, 2, 3}));
+  EXPECT_EQ(engine.config()[2].x, 3u);
+  EXPECT_THROW(engine.reset(make_config({1, 2})), std::invalid_argument);
+}
+
+TEST(Engine, StepWithDaemonAdvances) {
+  KStateRing ring(4, 5);
+  Engine<KStateRing> engine(ring, make_config({3, 1, 4, 1}));
+  CentralRandomDaemon daemon{Rng(7)};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.step_with(daemon));  // K-state ring never deadlocks
+  }
+  EXPECT_EQ(engine.steps(), 10u);
+}
+
+TEST(RunUntil, StopsAtPredicate) {
+  KStateRing ring(5, 6);
+  Rng rng(11);
+  Engine<KStateRing> engine(ring, dijkstra::random_config(ring, rng));
+  CentralRandomDaemon daemon{Rng(8)};
+  auto legit = [&ring](const KStateConfig& c) {
+    return dijkstra::is_legitimate(ring, c);
+  };
+  const RunResult result = run_until(engine, daemon, legit, 100000);
+  EXPECT_TRUE(result.reached);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_TRUE(dijkstra::is_legitimate(ring, engine.config()));
+}
+
+TEST(RunUntil, ZeroStepSuccessWhenAlreadySatisfied) {
+  KStateRing ring(3, 4);
+  Engine<KStateRing> engine(ring, make_config({0, 0, 0}));
+  CentralRoundRobinDaemon daemon;
+  auto legit = [&ring](const KStateConfig& c) {
+    return dijkstra::is_legitimate(ring, c);
+  };
+  const RunResult result = run_until(engine, daemon, legit, 100);
+  EXPECT_TRUE(result.reached);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+/// A deliberately terminating protocol (one shot per process) to exercise
+/// the engine's deadlock reporting, which the paper's protocols never
+/// trigger (Lemma 4).
+struct OneShotRing {
+  struct State {
+    bool fired = false;
+    friend bool operator==(const State&, const State&) = default;
+  };
+  std::size_t n = 3;
+  std::size_t size() const { return n; }
+  int enabled_rule(std::size_t, const State& self, const State&,
+                   const State&) const {
+    return self.fired ? kDisabled : 1;
+  }
+  State apply(std::size_t, int, const State&, const State&,
+              const State&) const {
+    return State{true};
+  }
+};
+
+TEST(Engine, DeadlockReportedWhenNothingEnabled) {
+  Engine<OneShotRing> engine(OneShotRing{}, std::vector<OneShotRing::State>(3));
+  SynchronousDaemon daemon;
+  EXPECT_TRUE(engine.step_with(daemon));   // everyone fires once
+  EXPECT_FALSE(engine.step_with(daemon));  // silent now
+  auto never = [](const std::vector<OneShotRing::State>&) { return false; };
+  const RunResult result = run_until(engine, daemon, never, 100);
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_FALSE(result.reached);
+}
+
+TEST(RunUntil, BudgetExhaustionReportsNotReached) {
+  KStateRing ring(3, 4);
+  Engine<KStateRing> engine(ring, make_config({0, 0, 0}));
+  CentralRoundRobinDaemon daemon;
+  auto never = [](const KStateConfig&) { return false; };
+  const RunResult result = run_until(engine, daemon, never, 25);
+  EXPECT_FALSE(result.reached);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.steps, 25u);
+}
+
+}  // namespace
+}  // namespace ssr::stab

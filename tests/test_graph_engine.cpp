@@ -1,0 +1,87 @@
+// Tests for the general-graph execution engine itself (the MIS tests
+// exercise it indirectly; these pin the engine API semantics).
+#include "graph/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/mis.hpp"
+#include "stabilizing/daemon.hpp"
+
+namespace ssr::graph {
+namespace {
+
+constexpr auto kOut = MisStatus::kOut;
+constexpr auto kWait = MisStatus::kWait;
+constexpr auto kIn = MisStatus::kIn;
+
+MisConfig statuses(std::initializer_list<MisStatus> list) {
+  MisConfig c;
+  for (auto s : list) c.push_back(MisState{s});
+  return c;
+}
+
+TEST(GraphEngine, RejectsSizeMismatch) {
+  TurauMis mis(Topology::path(3));
+  EXPECT_THROW(GraphEngine<TurauMis>(mis, MisConfig(2)),
+               std::invalid_argument);
+}
+
+TEST(GraphEngine, CountersTrackStepsAndMoves) {
+  TurauMis mis(Topology::path(3));
+  GraphEngine<TurauMis> engine(mis, statuses({kOut, kOut, kOut}));
+  stab::SynchronousDaemon daemon;
+  ASSERT_TRUE(engine.step_with(daemon));  // all three volunteer
+  EXPECT_EQ(engine.steps(), 1u);
+  EXPECT_EQ(engine.moves(), 3u);
+}
+
+TEST(GraphEngine, CompositeAtomicitySnapshotSemantics) {
+  // Nodes 0 and 2 of a path both commit simultaneously (they are not
+  // adjacent); node 1 must still see the OLD (WAIT) states this step.
+  TurauMis mis(Topology::path(3));
+  GraphEngine<TurauMis> engine(mis, statuses({kWait, kOut, kWait}));
+  // Node 1 is OUT with no IN neighbor: enabled (volunteer). 0 and 2 are
+  // WAIT with no IN neighbor and no smaller WAIT neighbor (1 is OUT):
+  // both commit.
+  const auto enabled = engine.enabled_indices();
+  EXPECT_EQ(enabled, (std::vector<std::size_t>{0, 1, 2}));
+  const std::vector<std::size_t> all{0, 1, 2};
+  engine.step(all);
+  EXPECT_EQ(engine.config()[0].status, kIn);
+  EXPECT_EQ(engine.config()[2].status, kIn);
+  // Node 1 volunteered against the pre-step snapshot (no IN neighbor yet).
+  EXPECT_EQ(engine.config()[1].status, kWait);
+  // Next step it retreats: both neighbors are IN now.
+  EXPECT_EQ(engine.enabled_rule(1), TurauMis::kRuleRetreat);
+}
+
+TEST(GraphEngine, StepRejectsDisabledNode) {
+  TurauMis mis(Topology::path(3));
+  GraphEngine<TurauMis> engine(mis, statuses({kIn, kOut, kOut}));
+  // Node 1 is OUT with an IN neighbor: disabled.
+  const std::vector<std::size_t> sel{1};
+  EXPECT_THROW(engine.step(sel), std::invalid_argument);
+}
+
+TEST(GraphEngine, ResetAndCorrupt) {
+  TurauMis mis(Topology::path(4));
+  GraphEngine<TurauMis> engine(mis, statuses({kIn, kOut, kIn, kOut}));
+  engine.corrupt(1, MisState{kIn});
+  EXPECT_EQ(engine.config()[1].status, kIn);
+  EXPECT_THROW(engine.corrupt(9, MisState{}), std::invalid_argument);
+  engine.reset(statuses({kOut, kOut, kOut, kOut}));
+  EXPECT_EQ(engine.config()[0].status, kOut);
+  EXPECT_THROW(engine.reset(MisConfig(2)), std::invalid_argument);
+}
+
+TEST(GraphEngine, RunToSilenceReportsBudgetExhaustion) {
+  // A two-node WAIT pair on a path oscillates never: it converges; to test
+  // the nullopt branch give a budget of zero on a non-silent start.
+  TurauMis mis(Topology::path(3));
+  GraphEngine<TurauMis> engine(mis, statuses({kOut, kOut, kOut}));
+  stab::SynchronousDaemon daemon;
+  EXPECT_EQ(run_to_silence(engine, daemon, 0), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ssr::graph

@@ -1,0 +1,100 @@
+// Tests for the JSON writer and the table CSV/JSON exports.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace ssr {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", 1).set("alpha", 2);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+  // Overwriting keeps the slot.
+  obj.set("zeta", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":9,\"alpha\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, NestedStructures) {
+  Json root = Json::object();
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::object().set("k", false));
+  root.set("items", std::move(arr));
+  EXPECT_EQ(root.dump(), "{\"items\":[1,\"two\",{\"k\":false}]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  const std::string pretty = obj.dump(2);
+  EXPECT_EQ(pretty, "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(Json, NullPromotesOnMutation) {
+  Json j;
+  j.set("k", 1);
+  EXPECT_TRUE(j.is_object());
+  Json a;
+  a.push(5);
+  EXPECT_TRUE(a.is_array());
+}
+
+TEST(Json, TypeMisuseRejected) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), std::invalid_argument);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(1), std::invalid_argument);
+}
+
+TEST(TableExport, Csv) {
+  TextTable t({"name", "value"});
+  t.row().cell("plain").cell(3);
+  t.row().cell("with,comma").cell("quote\"inside");
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv,
+            "name,value\n"
+            "plain,3\n"
+            "\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableExport, JsonTypesInferred) {
+  TextTable t({"n", "rate", "ok", "label"});
+  t.row().cell(5).cell(0.25, 2).cell(true).cell("hello");
+  const std::string json = t.to_json(0);
+  EXPECT_EQ(json, "[{\"n\":5,\"rate\":0.25,\"ok\":true,\"label\":\"hello\"}]");
+}
+
+TEST(TableExport, JsonShortRowsPadWithEmptyStrings) {
+  TextTable t({"a", "b"});
+  t.row().cell(1);
+  EXPECT_EQ(t.to_json(0), "[{\"a\":1,\"b\":\"\"}]");
+}
+
+}  // namespace
+}  // namespace ssr

@@ -1,0 +1,158 @@
+// Tests for self-stabilizing leader election on id-based rings, including
+// the exhaustive verification and the layered composition with SSRmin
+// (leader election discharges the "distinguished bottom process"
+// assumption).
+#include "elect/leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "graph/check.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+
+namespace ssr::elect {
+namespace {
+
+TEST(Leader, ConstructionConstraints) {
+  EXPECT_THROW(MinIdLeader({1, 2}), std::invalid_argument);      // n >= 3
+  EXPECT_THROW(MinIdLeader({1, 2, 1}), std::invalid_argument);   // unique ids
+  const MinIdLeader ring({5, 2, 9, 4});
+  EXPECT_EQ(ring.min_id(), 2u);
+  EXPECT_EQ(ring.max_id(), 9u);
+  EXPECT_EQ(ring.leader_position(), 1u);
+}
+
+TEST(Leader, DesiredFunction) {
+  const MinIdLeader ring({3, 1, 0, 2});  // n = 4, min at position 2
+  // A strictly smaller proposal within range is adopted with dist + 1.
+  EXPECT_EQ(ring.desired(0, LeaderState{0, 1}), (LeaderState{0, 2}));
+  // Equal or larger proposals fall back to own candidacy.
+  EXPECT_EQ(ring.desired(0, LeaderState{3, 0}), (LeaderState{3, 0}));
+  EXPECT_EQ(ring.desired(0, LeaderState{7, 0}), (LeaderState{3, 0}));
+  // Saturated distance kills the proposal (ghost starvation).
+  EXPECT_EQ(ring.desired(0, LeaderState{0, 3}), (LeaderState{3, 0}));
+}
+
+TEST(Leader, LegitimateConfigIsSilent) {
+  const MinIdLeader ring({3, 1, 0, 2});
+  const LeaderConfig config = legitimate_config(ring);
+  EXPECT_TRUE(is_legitimate(ring, config));
+  graph::GraphEngine<MinIdLeader> engine(ring, config);
+  EXPECT_TRUE(engine.enabled_indices().empty());
+  // The leader believes in itself; everyone else does not.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.believes_leader(i, config[i]), i == 2);
+  }
+}
+
+class LeaderExhaustive
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(LeaderExhaustive, FixpointIsExactlyTheTrueLeader) {
+  auto checker = make_leader_checker(GetParam());
+  const graph::GraphCheckReport report = checker.run();
+  EXPECT_TRUE(report.fixpoints_sound) << report.summary();
+  EXPECT_TRUE(report.fixpoints_complete) << report.summary();
+  EXPECT_TRUE(report.convergence_holds) << report.summary();
+  EXPECT_EQ(report.silent_configs, 1u);  // the one true leader config
+  EXPECT_EQ(report.legitimate_configs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IdAssignments, LeaderExhaustive,
+    ::testing::Values(std::vector<std::uint32_t>{0, 1, 2, 3},
+                      std::vector<std::uint32_t>{3, 2, 1, 0},
+                      std::vector<std::uint32_t>{1, 3, 0, 2},
+                      std::vector<std::uint32_t>{2, 0, 3, 1}),
+    [](const ::testing::TestParamInfo<std::vector<std::uint32_t>>& pi) {
+      std::string name = "ids";
+      for (auto id : pi.param) name += std::to_string(id);
+      return name;
+    });
+
+TEST(Leader, RandomizedConvergenceLargerRings) {
+  Rng rng(41);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::uint32_t> ids(12);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<std::uint32_t>(i) * 3 + 1;  // unique, sparse
+    }
+    rng.shuffle(ids);
+    const MinIdLeader ring(ids);
+    graph::GraphEngine<MinIdLeader> engine(ring, random_config(ring, rng));
+    stab::RandomSubsetDaemon daemon{rng.split(), 0.5};
+    const auto steps = graph::run_to_silence(engine, daemon, 200000);
+    ASSERT_TRUE(steps.has_value()) << "trial " << trial;
+    EXPECT_TRUE(is_legitimate(ring, engine.config()));
+  }
+}
+
+TEST(Leader, GhostLeaderStarves) {
+  // Plant a ghost id smaller than every real id; it must die.
+  const MinIdLeader ring({10, 11, 12, 13, 14});
+  LeaderConfig config = legitimate_config(ring);
+  config[3] = LeaderState{2, 0};  // ghost: no node has id 2
+  graph::GraphEngine<MinIdLeader> engine(ring, config);
+  stab::CentralRandomDaemon daemon{Rng(5)};
+  const auto steps = graph::run_to_silence(engine, daemon, 10000);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_TRUE(is_legitimate(ring, engine.config()));
+  for (const auto& s : engine.config()) EXPECT_EQ(s.lid, 10u);
+}
+
+TEST(Leader, ComposesWithSsrMin) {
+  // Layered composition: elect the leader, relabel the ring so the leader
+  // is logical position 0, run SSRmin on the logical ring. Both layers
+  // self-stabilize; together they discharge SSRmin's distinguished-
+  // process assumption on an id-only ring.
+  Rng rng(77);
+  std::vector<std::uint32_t> ids{42, 7, 19, 88, 3, 55};
+  const std::size_t n = ids.size();
+  const MinIdLeader election(ids);
+
+  // Layer 1: leader election from an arbitrary configuration.
+  graph::GraphEngine<MinIdLeader> elect_engine(election,
+                                               random_config(election, rng));
+  stab::RandomSubsetDaemon daemon{rng.split(), 0.5};
+  ASSERT_TRUE(graph::run_to_silence(elect_engine, daemon, 100000).has_value());
+  // Every node can now locally derive its logical index: its distance
+  // from the leader.
+  std::vector<std::size_t> logical(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    logical[i] = elect_engine.config()[i].dist;
+  }
+  // The logical indices are a rotation: 0..n-1 starting at the leader.
+  EXPECT_EQ(logical[election.leader_position()], 0u);
+  std::vector<bool> seen(n, false);
+  for (std::size_t l : logical) {
+    ASSERT_LT(l, n);
+    seen[l] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+
+  // Layer 2: SSRmin on the logical ring (physical node i acts as logical
+  // process logical[i]; the leader is the bottom).
+  const core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+  Rng rng2(99);
+  stab::Engine<core::SsrMinRing> ssr_engine(ring,
+                                            core::random_config(ring, rng2));
+  auto legit = [&ring](const core::SsrConfig& c) {
+    return core::is_legitimate(ring, c);
+  };
+  stab::CentralRandomDaemon daemon2{rng2.split()};
+  const auto result = stab::run_until(ssr_engine, daemon2, legit, 100000);
+  EXPECT_TRUE(result.reached);
+}
+
+TEST(Leader, ApplyRejectsDisabled) {
+  const MinIdLeader ring({0, 1, 2});
+  const LeaderConfig config = legitimate_config(ring);
+  std::vector<LeaderState> neigh{config[2], config[1]};  // neighbors of 0
+  EXPECT_THROW(ring.apply(0, MinIdLeader::kRuleCorrect, config[0], neigh),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssr::elect

@@ -1,0 +1,166 @@
+// Tests for Definition 1 (the legitimate-configuration predicate),
+// its enumeration, and the Dijkstra-part milestone used by Lemmas 7-8.
+#include "core/legitimacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssr::core {
+namespace {
+
+SsrState make_state(std::uint32_t x, int rts, int tra) {
+  return SsrState{x, rts != 0, tra != 0};
+}
+
+TEST(Enumerate, CountIsThreeNK) {
+  for (std::size_t n : {3u, 4u, 6u, 9u}) {
+    const auto K = static_cast<std::uint32_t>(n + 2);
+    const SsrMinRing ring(n, K);
+    const auto all = enumerate_legitimate(ring);
+    EXPECT_EQ(all.size(), 3u * n * K);
+    std::set<SsrConfig> unique(all.begin(), all.end());
+    EXPECT_EQ(unique.size(), all.size()) << "duplicates in enumeration";
+  }
+}
+
+TEST(Enumerate, EveryEnumeratedConfigClassifies) {
+  const SsrMinRing ring(5, 6);
+  for (const auto& config : enumerate_legitimate(ring)) {
+    const auto info = classify_legitimate(ring, config);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(is_legitimate(ring, config));
+  }
+}
+
+TEST(Classify, DefinitionOneForms) {
+  const SsrMinRing ring(4, 5);
+  // (x.0.1, x.0.0, x.0.0, x.0.0): P0 holds primary + secondary.
+  {
+    const SsrConfig c{make_state(2, 0, 1), make_state(2, 0, 0),
+                      make_state(2, 0, 0), make_state(2, 0, 0)};
+    const auto info = classify_legitimate(ring, c);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->primary_holder, 0u);
+    EXPECT_EQ(info->shape, LegitimateShape::kHolderTra);
+  }
+  // (x.1.0, x.0.0, ...): same holder, offer pending.
+  {
+    const SsrConfig c{make_state(2, 1, 0), make_state(2, 0, 0),
+                      make_state(2, 0, 0), make_state(2, 0, 0)};
+    const auto info = classify_legitimate(ring, c);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->shape, LegitimateShape::kHolderRts);
+  }
+  // (x.1.0, x.0.1, ...): handoff in progress between P0 and P1.
+  {
+    const SsrConfig c{make_state(2, 1, 0), make_state(2, 0, 1),
+                      make_state(2, 0, 0), make_state(2, 0, 0)};
+    const auto info = classify_legitimate(ring, c);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->shape, LegitimateShape::kHandoffPending);
+  }
+  // Interior holder: (x+1.0.0, x+1.0.0, x.0.1, x.0.0).
+  {
+    const SsrConfig c{make_state(3, 0, 0), make_state(3, 0, 0),
+                      make_state(2, 0, 1), make_state(2, 0, 0)};
+    const auto info = classify_legitimate(ring, c);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->primary_holder, 2u);
+    EXPECT_EQ(info->shape, LegitimateShape::kHolderTra);
+  }
+}
+
+TEST(Classify, WrapAroundHandoff) {
+  // gamma_{3n-1} of the closure proof: (x+1.0.1, x+1.0.0, ..., x.1.0) —
+  // primary at P_{n-1}, secondary at P_0.
+  const SsrMinRing ring(4, 5);
+  const SsrConfig c{make_state(3, 0, 1), make_state(3, 0, 0),
+                    make_state(3, 0, 0), make_state(2, 1, 0)};
+  const auto info = classify_legitimate(ring, c);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->primary_holder, 3u);
+  EXPECT_EQ(info->shape, LegitimateShape::kHandoffPending);
+}
+
+TEST(Classify, RejectsWrongXStep) {
+  const SsrMinRing ring(4, 6);
+  // Step of height 2 in the x-part: not Definition 1 even though the flag
+  // pattern is fine.
+  const SsrConfig c{make_state(4, 0, 0), make_state(4, 0, 0),
+                    make_state(2, 0, 1), make_state(2, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Classify, RejectsStrayFlags) {
+  const SsrMinRing ring(4, 5);
+  // Legitimate x-part but a second process with tra set.
+  const SsrConfig c{make_state(2, 0, 1), make_state(2, 0, 0),
+                    make_state(2, 0, 1), make_state(2, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Classify, RejectsDoubleFlagAtHolder) {
+  const SsrMinRing ring(4, 5);
+  const SsrConfig c{make_state(2, 1, 1), make_state(2, 0, 0),
+                    make_state(2, 0, 0), make_state(2, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Classify, RejectsAllZeroFlags) {
+  // (x.0.0, ..., x.0.0) appears in the convergence proof as the last
+  // illegitimate configuration (Lemma 6) — it is NOT legitimate.
+  const SsrMinRing ring(4, 5);
+  const SsrConfig c{make_state(2, 0, 0), make_state(2, 0, 0),
+                    make_state(2, 0, 0), make_state(2, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Classify, RejectsMultipleGuardHolders) {
+  const SsrMinRing ring(4, 5);
+  const SsrConfig c{make_state(0, 0, 1), make_state(1, 0, 0),
+                    make_state(2, 0, 0), make_state(3, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Classify, SecondaryAheadWithoutRtsIsIllegitimate) {
+  // Holder <0.1> with the successor also <0.1> (two secondaries).
+  const SsrMinRing ring(4, 5);
+  const SsrConfig c{make_state(2, 0, 1), make_state(2, 0, 1),
+                    make_state(2, 0, 0), make_state(2, 0, 0)};
+  EXPECT_FALSE(is_legitimate(ring, c));
+}
+
+TEST(Canonical, MatchesDefinition) {
+  const SsrMinRing ring(5, 6);
+  const SsrConfig c = canonical_legitimate(ring, 3);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c[0], make_state(3, 0, 1));
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(c[i], make_state(3, 0, 0));
+  const auto info = classify_legitimate(ring, c);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->primary_holder, 0u);
+  EXPECT_THROW(canonical_legitimate(ring, 6), std::invalid_argument);
+}
+
+TEST(DijkstraPart, LegitimateXPartDetected) {
+  const SsrMinRing ring(4, 5);
+  // x-part (3,3,2,2) is Dijkstra-legitimate (token at P2); flags arbitrary.
+  const SsrConfig good{make_state(3, 1, 1), make_state(3, 0, 1),
+                       make_state(2, 1, 0), make_state(2, 0, 0)};
+  EXPECT_TRUE(dijkstra_part_legitimate(ring, good));
+  EXPECT_FALSE(is_legitimate(ring, good));  // flags are inconsistent though
+  // x-part (0,1,2,3): many tokens.
+  const SsrConfig bad{make_state(0, 0, 0), make_state(1, 0, 0),
+                      make_state(2, 0, 0), make_state(3, 0, 0)};
+  EXPECT_FALSE(dijkstra_part_legitimate(ring, bad));
+}
+
+TEST(Legitimacy, SizeMismatchRejected) {
+  const SsrMinRing ring(4, 5);
+  const SsrConfig short_config{make_state(0, 0, 0)};
+  EXPECT_THROW(is_legitimate(ring, short_config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssr::core

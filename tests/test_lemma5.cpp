@@ -1,0 +1,121 @@
+// Lemma 5: 3n is the maximum length of any execution of SSRmin that
+// contains no execution of Rule 2 or Rule 4. We drive an adversarial
+// daemon that schedules Rules 1/3/5 whenever any process offers one, and
+// verify that it is always *forced* to execute Rule 2 or 4 within 3n steps
+// — from arbitrary initial configurations and throughout long runs.
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+
+namespace ssr::core {
+namespace {
+
+bool contains_rule24(const std::vector<int>& rules) {
+  for (int r : rules) {
+    if (r == SsrMinRing::kRuleSendPrimary || r == SsrMinRing::kRuleFixGuardTrue)
+      return true;
+  }
+  return false;
+}
+
+class Lemma5 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lemma5, RuleFreeRunsNeverExceedThreeN) {
+  const std::size_t n = GetParam();
+  const auto K = static_cast<std::uint32_t>(n + 1);
+  const SsrMinRing ring(n, K);
+  Rng rng(n * 1000 + 17);
+  for (int trial = 0; trial < 15; ++trial) {
+    stab::Engine<SsrMinRing> engine(ring, random_config(ring, rng));
+    stab::RuleAvoidingDaemon daemon{
+        rng.split(),
+        {SsrMinRing::kRuleSendPrimary, SsrMinRing::kRuleFixGuardTrue}};
+    std::uint64_t gap = 0;  // consecutive steps without Rule 2/4
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    for (int t = 0; t < 2000; ++t) {
+      engine.enabled(idx, rules);
+      ASSERT_FALSE(idx.empty()) << "deadlock (contradicts Lemma 4)";
+      const stab::EnabledView view{idx, rules, n};
+      const auto selected = daemon.select(view);
+      const auto executed = engine.step(selected);
+      if (contains_rule24(executed)) {
+        gap = 0;
+      } else {
+        ++gap;
+        ASSERT_LE(gap, 3 * n)
+            << "execution avoided Rules 2/4 for more than 3n steps "
+            << "(trial " << trial << ", step " << t << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, Lemma5, ::testing::Values(3, 4, 5, 8, 12));
+
+TEST(Lemma5, SynchronousScheduleAlsoBounded) {
+  // The bound holds for every daemon; check the synchronous schedule too.
+  const std::size_t n = 9;
+  const SsrMinRing ring(n, 10);
+  Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    stab::Engine<SsrMinRing> engine(ring, random_config(ring, rng));
+    stab::SynchronousDaemon daemon;
+    std::uint64_t gap = 0;
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    for (int t = 0; t < 1000; ++t) {
+      engine.enabled(idx, rules);
+      ASSERT_FALSE(idx.empty());
+      const stab::EnabledView view{idx, rules, n};
+      const auto selected = daemon.select(view);
+      const auto executed = engine.step(selected);
+      if (contains_rule24(executed)) {
+        gap = 0;
+      } else {
+        ++gap;
+        ASSERT_LE(gap, 3 * n);
+      }
+    }
+  }
+}
+
+TEST(Lemma5, PerProcessMoveCountWithoutRule24IsAtMostThree) {
+  // The proof's per-process accounting: while Rules 2/4 never execute,
+  // each individual process moves at most three times (Rules 5, 3, 5 in
+  // the worst case).
+  const std::size_t n = 6;
+  const SsrMinRing ring(n, 7);
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    stab::Engine<SsrMinRing> engine(ring, random_config(ring, rng));
+    stab::RuleAvoidingDaemon daemon{
+        rng.split(),
+        {SsrMinRing::kRuleSendPrimary, SsrMinRing::kRuleFixGuardTrue}};
+    std::vector<int> moves(n, 0);
+    std::vector<std::size_t> idx;
+    std::vector<int> rules;
+    for (int t = 0; t < 500; ++t) {
+      engine.enabled(idx, rules);
+      ASSERT_FALSE(idx.empty());
+      const stab::EnabledView view{idx, rules, n};
+      const auto selected = daemon.select(view);
+      const auto executed = engine.step(selected);
+      if (contains_rule24(executed)) {
+        std::fill(moves.begin(), moves.end(), 0);
+        continue;
+      }
+      for (std::size_t i : selected) {
+        ++moves[i];
+        ASSERT_LE(moves[i], 3)
+            << "process " << i << " moved four times without Rules 2/4";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssr::core

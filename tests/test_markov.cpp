@@ -1,0 +1,93 @@
+// Tests for the exact expected-hitting-time (average-case convergence)
+// analysis under the uniform-random central daemon.
+#include "verify/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+#include "verify/checkers.hpp"
+
+namespace ssr::verify {
+namespace {
+
+TEST(Markov, ConvergesAndRespectsStructure) {
+  auto checker = make_ssrmin_checker(3, 4);
+  const HittingTimeReport r = expected_hitting_times(checker);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.expected_steps.size(), 4096u);
+  // Legitimate configurations have expectation 0; everything else > 0.
+  core::SsrMinRing ring(3, 4);
+  for (std::uint64_t c = 0; c < 4096; ++c) {
+    const auto config = checker.codec().decode(c);
+    if (core::is_legitimate(ring, config)) {
+      EXPECT_DOUBLE_EQ(r.expected_steps[c], 0.0);
+    } else {
+      EXPECT_GT(r.expected_steps[c], 0.0);
+    }
+  }
+  EXPECT_GT(r.mean_expected, 0.0);
+  EXPECT_GE(r.max_expected, r.mean_expected);
+}
+
+TEST(Markov, ExpectationBoundedByWorstCase) {
+  auto checker = make_ssrmin_checker(3, 4);
+  CheckOptions options;
+  options.keep_heights = true;
+  const CheckReport check = checker.run(options);
+  const HittingTimeReport r = expected_hitting_times(checker);
+  ASSERT_TRUE(r.converged);
+  // The average-case expectation from any configuration can exceed the
+  // *distributed-daemon* worst case? No: heights include larger selection
+  // sets, but the central daemon's choices are a subset... The honest
+  // relation that must hold: from each configuration, the expectation is
+  // at least 1 if illegitimate, and the global max expectation is finite
+  // and of the same order as the worst case.
+  EXPECT_GE(r.max_expected, 1.0);
+  EXPECT_LT(r.max_expected, 10.0 * static_cast<double>(check.worst_case_steps));
+}
+
+TEST(Markov, MatchesMonteCarloEstimate) {
+  // Cross-validate the linear-system solution against direct simulation
+  // from the worst starting configuration.
+  auto checker = make_ssrmin_checker(3, 4);
+  const HittingTimeReport r = expected_hitting_times(checker);
+  ASSERT_TRUE(r.converged);
+  const auto start = checker.codec().decode(r.argmax);
+  core::SsrMinRing ring(3, 4);
+  Rng rng(12345);
+  double total = 0.0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    stab::Engine<core::SsrMinRing> engine(ring, start);
+    stab::CentralRandomDaemon daemon{rng.split()};
+    auto legit = [&ring](const core::SsrConfig& c) {
+      return core::is_legitimate(ring, c);
+    };
+    const auto result = stab::run_until(engine, daemon, legit, 100000);
+    ASSERT_TRUE(result.reached);
+    total += static_cast<double>(result.steps);
+  }
+  const double empirical = total / kTrials;
+  // 4000 trials: the mean should land within a few percent.
+  EXPECT_NEAR(empirical, r.max_expected, 0.08 * r.max_expected + 0.5);
+}
+
+TEST(Markov, DijkstraChainSolvesToo) {
+  auto checker = make_kstate_checker(4, 5);
+  const HittingTimeReport r = expected_hitting_times(checker);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.max_expected, 0.0);
+  EXPECT_GT(r.iterations, 0u);
+}
+
+TEST(Markov, MeanBelowMax) {
+  auto checker = make_ssrmin_checker(3, 5);
+  const HittingTimeReport r = expected_hitting_times(checker);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.mean_expected, r.max_expected);
+}
+
+}  // namespace
+}  // namespace ssr::verify

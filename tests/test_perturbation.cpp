@@ -1,0 +1,68 @@
+// Tests for the exhaustive single-fault (superstabilization-flavored)
+// analysis.
+#include "verify/perturbation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::verify {
+namespace {
+
+TEST(Perturbation, CaseCountIsExhaustive) {
+  const PerturbationReport r = analyze_single_faults(3, 4);
+  // 3nK legitimate configurations x n processes x (4K - 1) wrong states.
+  EXPECT_EQ(r.cases, 3u * 3 * 4 * 3 * (4 * 4 - 1));
+  EXPECT_EQ(r.n, 3u);
+  EXPECT_EQ(r.k, 4u);
+}
+
+TEST(Perturbation, SafetyIsNeverViolated) {
+  // A single corrupted process cannot extinguish all tokens: Lemma 3's
+  // "some G_i is true" argument is configuration-independent.
+  for (auto [n, K] : {std::pair<std::size_t, std::uint32_t>{3, 4},
+                      std::pair<std::size_t, std::uint32_t>{3, 5},
+                      std::pair<std::size_t, std::uint32_t>{4, 5}}) {
+    const PerturbationReport r = analyze_single_faults(n, K);
+    EXPECT_TRUE(r.safety_preserved) << r.summary();
+  }
+}
+
+TEST(Perturbation, RecoveryBoundedByGlobalWorstCase) {
+  const PerturbationReport r = analyze_single_faults(4, 5);
+  EXPECT_GT(r.max_recovery_steps, 0u);
+  EXPECT_LE(r.max_recovery_steps, r.global_worst_case);
+}
+
+TEST(Perturbation, SingleFaultRecoveryIsLocal) {
+  // The superstabilization-flavored locality property: a single fault
+  // recovers measurably faster (on average) than the global worst case.
+  const PerturbationReport r = analyze_single_faults(4, 5);
+  EXPECT_LT(r.mean_recovery_steps,
+            0.75 * static_cast<double>(r.global_worst_case));
+}
+
+TEST(Perturbation, HistogramSumsToRecoveringCases) {
+  const PerturbationReport r = analyze_single_faults(3, 4);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : r.histogram) total += c;
+  EXPECT_EQ(total, r.cases - r.still_legitimate);
+  ASSERT_FALSE(r.histogram.empty());
+  EXPECT_EQ(r.histogram.size(), r.max_recovery_steps + 1);
+}
+
+TEST(Perturbation, SomeFaultsLandLegitimate) {
+  // E.g. corrupting x at a process whose x is free in some shape, or
+  // toggling flags into another legitimate shape.
+  const PerturbationReport r = analyze_single_faults(3, 4);
+  EXPECT_GT(r.still_legitimate, 0u);
+  EXPECT_LT(r.still_legitimate, r.cases);
+}
+
+TEST(Perturbation, SummaryMentionsKeyFigures) {
+  const PerturbationReport r = analyze_single_faults(3, 4);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("max_recovery="), std::string::npos);
+  EXPECT_NE(s.find("safety=preserved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr::verify

@@ -1,0 +1,195 @@
+// Unit tests for the deterministic PRNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace ssr {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  // Each bucket expects 10000; allow +-6% (far beyond 5 sigma).
+  for (int c : counts) {
+    EXPECT_GT(c, 9400);
+    EXPECT_LT(c, 10600);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, RangeRejectsInverted) {
+  Rng rng(3);
+  EXPECT_THROW(rng.range(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(8);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // 50! permutations; identity is (essentially) impossible
+}
+
+TEST(Rng, ShuffleHandlesSmallContainers) {
+  Rng rng(13);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ShuffleUniformOverSmallPermutations) {
+  Rng rng(21);
+  std::map<std::array<int, 3>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::array<int, 3> a{0, 1, 2};
+    rng.shuffle(a);
+    ++counts[a];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Splitmix, KnownFixedpointFree) {
+  // splitmix64 must expand a zero seed into nonzero state words.
+  std::uint64_t s = 0;
+  const std::uint64_t w1 = splitmix64_next(s);
+  const std::uint64_t w2 = splitmix64_next(s);
+  EXPECT_NE(w1, 0u);
+  EXPECT_NE(w2, 0u);
+  EXPECT_NE(w1, w2);
+}
+
+}  // namespace
+}  // namespace ssr

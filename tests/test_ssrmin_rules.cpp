@@ -1,0 +1,217 @@
+// Rule-level unit tests for SSRmin (paper Algorithm 3). The enabled-rule
+// table is checked exhaustively against an independent transcription of the
+// guards, covering every <rts.tra> window pattern x both guard values —
+// i.e. the full Figure 3 "possible rules" table.
+#include "core/ssrmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stabilizing/protocol.hpp"
+
+namespace ssr::core {
+namespace {
+
+SsrState make_state(std::uint32_t x, int rts, int tra) {
+  return SsrState{x, rts != 0, tra != 0};
+}
+
+/// Independent transcription of Algorithm 3's guards (priority 1 > 2 > 3 >
+/// 4 > 5), written from the paper text rather than from the implementation.
+int expected_rule(bool g, std::uint32_t pf, std::uint32_t sf,
+                  std::uint32_t cf) {
+  if (g) {
+    if (sf == kFlags00 || sf == kFlags01 || sf == kFlags11) return 1;
+    if (sf == kFlags10 && cf == kFlags01) return 2;
+    if (!(pf == kFlags00 && sf == kFlags10 && cf == kFlags00)) return 4;
+    return stab::kDisabled;
+  }
+  if (pf == kFlags10 &&
+      (sf == kFlags00 || sf == kFlags10 || sf == kFlags11))
+    return 3;
+  if (pf == kFlags10 && sf == kFlags01) return stab::kDisabled;
+  if (sf == kFlags00) return stab::kDisabled;
+  return 5;
+}
+
+SsrState with_flags(std::uint32_t x, std::uint32_t flags) {
+  return SsrState{x, (flags & 2u) != 0, (flags & 1u) != 0};
+}
+
+class RuleTable
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(RuleTable, MatchesPaperGuards) {
+  const auto [pf_i, sf_i, cf_i, g_i] = GetParam();
+  const auto pf = static_cast<std::uint32_t>(pf_i);
+  const auto sf = static_cast<std::uint32_t>(sf_i);
+  const auto cf = static_cast<std::uint32_t>(cf_i);
+  const bool g = g_i != 0;
+
+  SsrMinRing ring(5, 6);
+  // Use middle process P2: guard is x_self != x_pred. Pick x values to set
+  // the guard as requested.
+  const std::uint32_t x_pred = 1;
+  const std::uint32_t x_self = g ? 2 : 1;
+  const SsrState pred = with_flags(x_pred, pf);
+  const SsrState self = with_flags(x_self, sf);
+  const SsrState succ = with_flags(3, cf);
+  ASSERT_EQ(ring.guard(2, self, pred), g);
+  EXPECT_EQ(ring.enabled_rule(2, self, pred, succ),
+            expected_rule(g, pf, sf, cf))
+      << "pred=" << pf << " self=" << sf << " succ=" << cf << " G=" << g;
+}
+
+TEST_P(RuleTable, MatchesPaperGuardsForBottomProcess) {
+  const auto [pf_i, sf_i, cf_i, g_i] = GetParam();
+  const auto pf = static_cast<std::uint32_t>(pf_i);
+  const auto sf = static_cast<std::uint32_t>(sf_i);
+  const auto cf = static_cast<std::uint32_t>(cf_i);
+  const bool g = g_i != 0;
+
+  SsrMinRing ring(5, 6);
+  // Bottom process P0: guard is x_self == x_pred.
+  const std::uint32_t x_pred = 1;
+  const std::uint32_t x_self = g ? 1 : 2;
+  const SsrState pred = with_flags(x_pred, pf);
+  const SsrState self = with_flags(x_self, sf);
+  const SsrState succ = with_flags(3, cf);
+  ASSERT_EQ(ring.guard(0, self, pred), g);
+  EXPECT_EQ(ring.enabled_rule(0, self, pred, succ),
+            expected_rule(g, pf, sf, cf));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, RuleTable,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4),
+                                            ::testing::Range(0, 4),
+                                            ::testing::Range(0, 2)));
+
+TEST(SsrMinRing, ConstructionConstraints) {
+  EXPECT_THROW(SsrMinRing(2, 5), std::invalid_argument);  // n >= 3
+  EXPECT_THROW(SsrMinRing(5, 5), std::invalid_argument);  // K > n
+  EXPECT_NO_THROW(SsrMinRing(3, 4));
+  EXPECT_EQ(SsrMinRing(4, 7).states_per_process(), 28u);
+}
+
+TEST(Rule1, SetsReadyToSend) {
+  SsrMinRing ring(5, 6);
+  // P0 with all-equal x and <0.1>: the canonical Figure 4 step 1.
+  const SsrState self = make_state(3, 0, 1);
+  const SsrState pred = make_state(3, 0, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(0, self, pred, succ), 1);
+  const SsrState next = ring.apply(0, 1, self, pred, succ);
+  EXPECT_EQ(next, make_state(3, 1, 0));  // x unchanged, <rts.tra> := <1.0>
+}
+
+TEST(Rule2, SendsPrimaryAndRunsDijkstraCommand) {
+  SsrMinRing ring(5, 6);
+  // Figure 4 step 3: P0 = 3.1.0, P1 = 3.0.1.
+  const SsrState self = make_state(3, 1, 0);
+  const SsrState pred = make_state(3, 0, 0);  // P4
+  const SsrState succ = make_state(3, 0, 1);  // P1
+  ASSERT_EQ(ring.enabled_rule(0, self, pred, succ), 2);
+  const SsrState next = ring.apply(0, 2, self, pred, succ);
+  EXPECT_EQ(next, make_state(4, 0, 0));  // bottom increments x
+}
+
+TEST(Rule2, NonBottomCopiesPredecessor) {
+  SsrMinRing ring(5, 6);
+  const SsrState self = make_state(3, 1, 0);
+  const SsrState pred = make_state(4, 0, 0);
+  const SsrState succ = make_state(3, 0, 1);
+  ASSERT_EQ(ring.enabled_rule(2, self, pred, succ), 2);
+  const SsrState next = ring.apply(2, 2, self, pred, succ);
+  EXPECT_EQ(next, make_state(4, 0, 0));  // copies pred.x
+}
+
+TEST(Rule3, ReceivesSecondaryToken) {
+  SsrMinRing ring(5, 6);
+  // Figure 4 step 2: P1 = 3.0.0 with pred P0 = 3.1.0.
+  const SsrState self = make_state(3, 0, 0);
+  const SsrState pred = make_state(3, 1, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(1, self, pred, succ), 3);
+  const SsrState next = ring.apply(1, 3, self, pred, succ);
+  EXPECT_EQ(next, make_state(3, 0, 1));
+}
+
+TEST(Rule4, FixesInconsistentStateWhenGuardTrue) {
+  SsrMinRing ring(5, 6);
+  // P2 with G true, self <1.0> but predecessor also <1.0>: inconsistent.
+  const SsrState self = make_state(3, 1, 0);
+  const SsrState pred = make_state(4, 1, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(2, self, pred, succ), 4);
+  const SsrState next = ring.apply(2, 4, self, pred, succ);
+  EXPECT_EQ(next, make_state(4, 0, 0));  // resets flags AND runs C_i
+}
+
+TEST(Rule4, NotEnabledInLegitimateWaitPattern) {
+  SsrMinRing ring(5, 6);
+  // <0.0, 1.0, 0.0> with G true: P_i is just waiting for its successor to
+  // acknowledge; no rule fires.
+  const SsrState self = make_state(3, 1, 0);
+  const SsrState pred = make_state(4, 0, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  EXPECT_EQ(ring.enabled_rule(2, self, pred, succ), stab::kDisabled);
+}
+
+TEST(Rule5, FixesInconsistentStateWhenGuardFalse) {
+  SsrMinRing ring(5, 6);
+  // P2 with G false and a stray <0.1> while pred is <0.0>: inconsistent.
+  const SsrState self = make_state(3, 0, 1);
+  const SsrState pred = make_state(3, 0, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(2, self, pred, succ), 5);
+  const SsrState next = ring.apply(2, 5, self, pred, succ);
+  EXPECT_EQ(next, make_state(3, 0, 0));  // resets flags, x untouched
+}
+
+TEST(Rule5, HolderPatternIsStable) {
+  SsrMinRing ring(5, 6);
+  // <1.0, 0.1> with G false: the legitimate secondary-holder pattern.
+  const SsrState self = make_state(3, 0, 1);
+  const SsrState pred = make_state(3, 1, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  EXPECT_EQ(ring.enabled_rule(2, self, pred, succ), stab::kDisabled);
+}
+
+TEST(Apply, RejectsMismatchedRuleId) {
+  SsrMinRing ring(5, 6);
+  const SsrState self = make_state(3, 0, 1);
+  const SsrState pred = make_state(3, 0, 0);
+  const SsrState succ = make_state(3, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(0, self, pred, succ), 1);
+  EXPECT_THROW(ring.apply(0, 2, self, pred, succ), std::invalid_argument);
+  EXPECT_THROW(ring.apply(0, 99, self, pred, succ), std::invalid_argument);
+}
+
+TEST(Rule11, ClearsDoubleFlag) {
+  SsrMinRing ring(5, 6);
+  // <1.1> with G true is repaired by Rule 1 (priority over Rule 4).
+  const SsrState self = make_state(2, 1, 1);
+  const SsrState pred = make_state(3, 0, 0);
+  const SsrState succ = make_state(2, 0, 0);
+  ASSERT_EQ(ring.enabled_rule(2, self, pred, succ), 1);
+  EXPECT_EQ(ring.apply(2, 1, self, pred, succ), make_state(2, 1, 0));
+}
+
+TEST(StateCodec, RoundTrips) {
+  const std::uint32_t K = 6;
+  for (std::uint32_t code = 0; code < 4 * K; ++code) {
+    const SsrState s = decode_state(code, K);
+    EXPECT_EQ(encode_state(s, K), code);
+  }
+  EXPECT_THROW(decode_state(4 * K, K), std::invalid_argument);
+  EXPECT_THROW(encode_state(make_state(K, 0, 0), K), std::invalid_argument);
+}
+
+TEST(StateFormat, PaperNotation) {
+  EXPECT_EQ(format_state(make_state(3, 0, 1)), "3.0.1");
+  EXPECT_EQ(format_state(make_state(12, 1, 0)), "12.1.0");
+  EXPECT_EQ(format_state(make_state(0, 1, 1)), "0.1.1");
+}
+
+}  // namespace
+}  // namespace ssr::core

@@ -1,0 +1,156 @@
+// Token-predicate tests for SSRmin: Lemma 2 (exactly one primary and one
+// secondary token in every legitimate configuration), Lemma 3 (a primary
+// token exists in *every* configuration), and the [1, 2] privileged bound
+// of Theorem 1.
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+
+namespace ssr::core {
+namespace {
+
+SsrState make_state(std::uint32_t x, int rts, int tra) {
+  return SsrState{x, rts != 0, tra != 0};
+}
+
+TEST(PrimaryToken, EqualsDijkstraGuard) {
+  SsrMinRing ring(5, 6);
+  // Bottom: equality with predecessor.
+  EXPECT_TRUE(ring.holds_primary(0, make_state(2, 0, 0), make_state(2, 1, 1)));
+  EXPECT_FALSE(ring.holds_primary(0, make_state(2, 0, 0), make_state(3, 0, 0)));
+  // Other: inequality.
+  EXPECT_TRUE(ring.holds_primary(3, make_state(2, 0, 0), make_state(3, 0, 0)));
+  EXPECT_FALSE(ring.holds_primary(3, make_state(2, 0, 0), make_state(2, 0, 0)));
+}
+
+TEST(SecondaryToken, TraAlwaysGrantsIt) {
+  SsrMinRing ring(5, 6);
+  for (std::uint32_t succ_flags = 0; succ_flags < 4; ++succ_flags) {
+    const SsrState succ{1, (succ_flags & 2u) != 0, (succ_flags & 1u) != 0};
+    EXPECT_TRUE(ring.holds_secondary(make_state(0, 0, 1), succ));
+    EXPECT_TRUE(ring.holds_secondary(make_state(0, 1, 1), succ));
+  }
+}
+
+TEST(SecondaryToken, RtsRequiresSilentSuccessor) {
+  SsrMinRing ring(5, 6);
+  // rts = 1 holds the token only while the successor shows <0.0> — this is
+  // the model-gap-tolerance clause (paper §3.1 discussion).
+  EXPECT_TRUE(ring.holds_secondary(make_state(0, 1, 0), make_state(1, 0, 0)));
+  EXPECT_FALSE(ring.holds_secondary(make_state(0, 1, 0), make_state(1, 0, 1)));
+  EXPECT_FALSE(ring.holds_secondary(make_state(0, 1, 0), make_state(1, 1, 0)));
+  EXPECT_FALSE(ring.holds_secondary(make_state(0, 1, 0), make_state(1, 1, 1)));
+}
+
+TEST(SecondaryToken, PlainStateHoldsNothing) {
+  SsrMinRing ring(5, 6);
+  EXPECT_FALSE(ring.holds_secondary(make_state(0, 0, 0), make_state(1, 0, 0)));
+}
+
+class LegitTokens : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LegitTokens, Lemma2ExactlyOnePrimaryAndOneSecondary) {
+  const std::size_t n = GetParam();
+  const SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+  const auto all = enumerate_legitimate(ring);
+  ASSERT_FALSE(all.empty());
+  for (const auto& config : all) {
+    EXPECT_EQ(primary_token_count(ring, config), 1u);
+    EXPECT_EQ(secondary_token_count(ring, config), 1u);
+    const std::size_t priv = privileged_count(ring, config);
+    EXPECT_GE(priv, 1u);
+    EXPECT_LE(priv, 2u);
+  }
+}
+
+TEST_P(LegitTokens, TokenHoldersAreNeighborsOrSame) {
+  // Paper §3.1: "two processes that hold tokens are neighbors (or the
+  // same)".
+  const std::size_t n = GetParam();
+  const SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+  for (const auto& config : enumerate_legitimate(ring)) {
+    const auto holdings = token_holdings(ring, config);
+    std::size_t primary_at = n;
+    std::size_t secondary_at = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (holdings[i].primary) primary_at = i;
+      if (holdings[i].secondary) secondary_at = i;
+    }
+    ASSERT_LT(primary_at, n);
+    ASSERT_LT(secondary_at, n);
+    const bool same = primary_at == secondary_at;
+    const bool succ = stab::succ_index(primary_at, n) == secondary_at;
+    EXPECT_TRUE(same || succ)
+        << "primary at " << primary_at << ", secondary at " << secondary_at;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, LegitTokens,
+                         ::testing::Values(3, 4, 5, 8, 12));
+
+TEST(Lemma3, PrimaryTokenExistsInEveryConfiguration) {
+  // Exhaustive for n = 3, K = 4 over the full (4K)^3 = 4096 configurations.
+  const SsrMinRing ring(3, 4);
+  for (std::uint32_t c0 = 0; c0 < 16; ++c0) {
+    for (std::uint32_t c1 = 0; c1 < 16; ++c1) {
+      for (std::uint32_t c2 = 0; c2 < 16; ++c2) {
+        const SsrConfig config{decode_state(c0, 4), decode_state(c1, 4),
+                               decode_state(c2, 4)};
+        EXPECT_GE(primary_token_count(ring, config), 1u);
+        // Hence at least one privileged process in any configuration — the
+        // state-reading mutual inclusion guarantee.
+        EXPECT_GE(privileged_count(ring, config), 1u);
+      }
+    }
+  }
+}
+
+TEST(Lemma3, RandomConfigurationsLargerRings) {
+  const SsrMinRing ring(9, 10);
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const SsrConfig config = random_config(ring, rng);
+    EXPECT_GE(primary_token_count(ring, config), 1u);
+  }
+}
+
+TEST(TokenHoldings, ReportsPerProcessFlags) {
+  SsrMinRing ring(3, 4);
+  // (x.1.0, x.0.1, x.0.0): P0 primary (guard true: equality with P2) and
+  // P1 secondary via tra.
+  const SsrConfig config{make_state(1, 1, 0), make_state(1, 0, 1),
+                         make_state(1, 0, 0)};
+  const auto holdings = token_holdings(ring, config);
+  EXPECT_TRUE(holdings[0].primary);
+  EXPECT_FALSE(holdings[0].secondary);  // successor shows <0.1>, not <0.0>
+  EXPECT_FALSE(holdings[1].primary);
+  EXPECT_TRUE(holdings[1].secondary);
+  EXPECT_FALSE(holdings[2].primary);
+  EXPECT_FALSE(holdings[2].secondary);
+}
+
+TEST(TraceStyleMarks, PrimaryAndSecondary) {
+  SsrMinRing ring(5, 6);
+  auto style = trace_style(ring);
+  const SsrConfig config = canonical_legitimate(ring, 3);
+  EXPECT_EQ(style.annotate(config, 0), "PS");
+  EXPECT_EQ(style.annotate(config, 1), "");
+  EXPECT_EQ(style.format_state(config[0]), "3.0.1");
+}
+
+TEST(RandomConfig, CoversFlagSpace) {
+  SsrMinRing ring(4, 5);
+  Rng rng(31);
+  bool saw[4] = {false, false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& s : random_config(ring, rng)) {
+      EXPECT_LT(s.x, 5u);
+      saw[s.flags()] = true;
+    }
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2] && saw[3]);
+}
+
+}  // namespace
+}  // namespace ssr::core

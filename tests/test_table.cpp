@@ -1,0 +1,95 @@
+// Unit tests for the text-table renderer used by the benchmark harness.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssr {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(3.100, 3), "3.1");
+  EXPECT_EQ(format_double(4.000, 3), "4");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(-2.50, 2), "-2.5");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_double(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(TextTable, BasicRender) {
+  TextTable t({"name", "count"});
+  t.row().cell("alpha").cell(3);
+  t.row().cell("beta").cell(12);
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TextTable, NumbersRightAligned) {
+  TextTable t({"v"});
+  t.row().cell(5);
+  t.row().cell(12345);
+  const std::string out = t.render();
+  // "5" must be padded on the left to the width of 12345.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TextTable, MixedCellTypes) {
+  TextTable t({"a", "b", "c", "d"});
+  t.row().cell(1.5).cell(std::uint64_t{7}).cell(true).cell("text");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("text"), std::string::npos);
+}
+
+TEST(TextTable, AddRowInitializerList) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsCellBeforeRow) {
+  TextTable t({"x"});
+  EXPECT_THROW(t.cell("oops"), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"x"});
+  t.row().cell("one");
+  EXPECT_THROW(t.cell("two"), std::invalid_argument);
+}
+
+TEST(TextTable, ShortRowsRenderPadded) {
+  TextTable t({"x", "y"});
+  t.row().cell("only");
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t({"h"});
+  t.row().cell(1);
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+}  // namespace
+}  // namespace ssr

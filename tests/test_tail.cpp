@@ -1,0 +1,112 @@
+// The delay-variance boundary of Theorem 3 (finding F1, experiment E22).
+//
+// Mechanism, found by tracing the first zero-holder instant: a state
+// message carrying <rts = 1> from the successor's PREVIOUS token tenure
+// can arrive at the holder after the token lapped the ring. The holder's
+// local view then matches Rule 4's repair guard (self <1.0>, successor
+// not <0.0>/<0.1>-consistent), the "fix" fires, and both tokens are
+// destroyed until the new x value propagates. For this to happen one
+// message must stay in transit longer than the FASTEST possible handshake
+// lap — so it is delay *variance* relative to the lap time that matters:
+//  * moderate variance (max/min ~ 3): never observed, matching Theorem 3;
+//  * extreme bounded variance (max/min ~ 60) on the smallest ring: rare
+//    windows;
+//  * unbounded (exponential) tails: windows at a measurable rate,
+//    shrinking exponentially with ring size (longer laps).
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+
+namespace ssr::msgpass {
+namespace {
+
+NetworkParams tail_net(std::uint64_t seed, DelayModel model,
+                       double delay_min = 0.05, double delay_max = 3.05) {
+  NetworkParams p;
+  p.delay_min = delay_min;
+  p.delay_max = delay_max;
+  p.delay_model = model;
+  p.service_min = 0.05;
+  p.service_max = 0.1;
+  p.refresh_interval = 40.0;
+  p.seed = seed;
+  return p;
+}
+
+TEST(DelayTail, ModerateVarianceKeepsTheInvariant) {
+  // max/min = 3: no single message can outlive a handshake lap.
+  core::SsrMinRing ring(3, 4);
+  auto sim = make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0),
+                             tail_net(1, DelayModel::kUniform, 0.5, 1.5));
+  const CoverageStats stats = sim.run(200000.0);
+  EXPECT_EQ(stats.min_holders, 1u);
+  EXPECT_EQ(stats.zero_intervals, 0u);
+  EXPECT_GT(stats.handovers, 1000u);
+}
+
+TEST(DelayTail, ExtremeBoundedVarianceOpensRareWindows) {
+  // Still bounded (uniform), but max/min = 61 on the smallest ring: a
+  // slow stale message can overlap a burst of fast handshake messages.
+  core::SsrMinRing ring(3, 4);
+  auto sim = make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0),
+                             tail_net(11, DelayModel::kUniform));
+  const CoverageStats stats = sim.run(400000.0);
+  EXPECT_EQ(stats.min_holders, 0u);
+  EXPECT_GT(stats.zero_intervals, 0u);
+  EXPECT_GT(stats.coverage(), 0.999);  // still vanishingly rare
+}
+
+TEST(DelayTail, ExponentialTailsOpenZeroWindows) {
+  core::SsrMinRing ring(3, 4);
+  auto sim = make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0),
+                             tail_net(1, DelayModel::kExponentialTail));
+  const CoverageStats stats = sim.run(500000.0);
+  EXPECT_EQ(stats.min_holders, 0u);
+  EXPECT_GT(stats.zero_intervals, 100u);
+  // ...but self-stabilization contains the damage: coverage stays high.
+  EXPECT_GT(stats.coverage(), 0.98);
+}
+
+TEST(DelayTail, TailWindowsShrinkWithRingSize) {
+  // The stale state must survive ~(n-1)/n of a revolution, which costs
+  // ~3(n-1) mean delays — exponentially less likely as n grows.
+  double smaller = -1.0;
+  for (std::size_t n : {3u, 6u}) {
+    core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+    auto sim = make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0),
+                               tail_net(7, DelayModel::kExponentialTail));
+    const CoverageStats stats = sim.run(300000.0);
+    const double zero_fraction = stats.zero_token_time / stats.observed_time;
+    if (smaller >= 0.0) {
+      EXPECT_LT(zero_fraction, smaller)
+          << "larger rings should suffer fewer tail-induced windows";
+    }
+    smaller = zero_fraction;
+  }
+}
+
+TEST(DelayTail, DrawDelayRespectsModel) {
+  NetworkParams p = tail_net(3, DelayModel::kUniform);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = p.draw_delay(rng);
+    EXPECT_GE(d, p.delay_min);
+    EXPECT_LE(d, p.delay_max);
+  }
+  p.delay_model = DelayModel::kExponentialTail;
+  bool beyond_uniform_bound = false;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = p.draw_delay(rng);
+    EXPECT_GE(d, p.delay_min);
+    if (d > p.delay_max) beyond_uniform_bound = true;
+    sum += d;
+  }
+  EXPECT_TRUE(beyond_uniform_bound);  // the tail exists
+  EXPECT_NEAR(sum / 20000.0, p.delay_min + (p.delay_max - p.delay_min),
+              0.1);  // mean = min + spread
+}
+
+}  // namespace
+}  // namespace ssr::msgpass

@@ -1,0 +1,92 @@
+// Tests for the ASCII token-timeline renderer (the Figures 11-13 visual).
+#include "msgpass/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+
+namespace ssr::msgpass {
+namespace {
+
+TEST(Timeline, RecordsColumnsAtResolution) {
+  TimelineRecorder rec(2, 1.0);
+  rec.record(0.0, 3.0, {true, false});
+  rec.record(3.0, 5.0, {false, true});
+  EXPECT_EQ(rec.column_count(), 5u);
+  const std::string out = rec.render();
+  EXPECT_NE(out.find("v0  |###.."), std::string::npos);
+  EXPECT_NE(out.find("v1  |...##"), std::string::npos);
+  EXPECT_NE(out.find("any |#####"), std::string::npos);
+}
+
+TEST(Timeline, MarksZeroAndDoubleHolderColumns) {
+  TimelineRecorder rec(2, 1.0);
+  rec.record(0.0, 1.0, {true, true});    // double
+  rec.record(1.0, 2.0, {false, false});  // zero
+  rec.record(2.0, 3.0, {true, false});   // single
+  const std::string out = rec.render();
+  EXPECT_NE(out.find("any |2!#"), std::string::npos);
+  EXPECT_NEAR(rec.zero_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Timeline, PartialColumnsSampleLeftEdge) {
+  TimelineRecorder rec(1, 1.0);
+  // Interval covering no column edge leaves no mark...
+  rec.record(0.2, 0.8, {true});
+  EXPECT_EQ(rec.column_count(), 0u);
+  // ...and the interval holding the edge at t=1.0 owns column 1.
+  rec.record(0.8, 1.2, {true});
+  EXPECT_EQ(rec.column_count(), 2u);
+  EXPECT_NE(rec.render().find("v0  |.#"), std::string::npos);
+}
+
+TEST(Timeline, TruncatesAtMaxCols) {
+  TimelineRecorder rec(1, 1.0);
+  rec.record(0.0, 50.0, {true});
+  const std::string out = rec.render(10);
+  // Row = "v0  |" + 10 chars + "\n".
+  const auto pos = out.find('|');
+  const auto end = out.find('\n');
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(end - pos - 1, 10u);
+}
+
+TEST(Timeline, RejectsBadConstruction) {
+  EXPECT_THROW(TimelineRecorder(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TimelineRecorder(3, 0.0), std::invalid_argument);
+}
+
+TEST(Timeline, RejectsWrongHolderWidth) {
+  TimelineRecorder rec(3, 1.0);
+  EXPECT_THROW(rec.record(0.0, 1.0, {true}), std::invalid_argument);
+}
+
+TEST(Timeline, AttachedToSimulationShowsFullCoverage) {
+  core::SsrMinRing ring(5, 6);
+  NetworkParams params;
+  params.seed = 4;
+  auto sim = make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0), params);
+  TimelineRecorder rec(5, 0.5);
+  rec.attach(sim);
+  sim.run(200.0);
+  EXPECT_GT(rec.column_count(), 300u);
+  // Theorem 3: no zero-holder column, ever.
+  EXPECT_DOUBLE_EQ(rec.zero_fraction(), 0.0);
+  EXPECT_EQ(rec.render().find('!'), std::string::npos);
+}
+
+TEST(Timeline, DijkstraTimelineShowsGaps) {
+  dijkstra::KStateRing ring(5, 6);
+  NetworkParams params;
+  params.seed = 4;
+  auto sim = make_kstate_cst(ring, dijkstra::KStateConfig(5), params);
+  TimelineRecorder rec(5, 0.5);
+  rec.attach(sim);
+  sim.run(200.0);
+  EXPECT_GT(rec.zero_fraction(), 0.0);
+  EXPECT_NE(rec.render().find('!'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssr::msgpass

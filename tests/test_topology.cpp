@@ -1,0 +1,109 @@
+// Tests for the general-graph topology substrate.
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::graph {
+namespace {
+
+TEST(Topology, AddEdgeIsSymmetricAndIdempotent) {
+  Topology g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);  // idempotent
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Topology, RejectsSelfLoopsAndBadIndices) {
+  Topology g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.has_edge(3, 0), std::invalid_argument);
+  EXPECT_THROW(Topology(0), std::invalid_argument);
+}
+
+TEST(Topology, NeighborsAreSorted) {
+  Topology g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto n = g.neighbors(2);
+  EXPECT_EQ(std::vector<std::size_t>(n.begin(), n.end()),
+            (std::vector<std::size_t>{0, 3, 4}));
+}
+
+TEST(Topology, RingStructure) {
+  const Topology g = Topology::ring(5);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.degree(i), 2u);
+    EXPECT_TRUE(g.has_edge(i, (i + 1) % 5));
+  }
+  EXPECT_TRUE(g.connected());
+  EXPECT_THROW(Topology::ring(2), std::invalid_argument);
+}
+
+TEST(Topology, PathStructure) {
+  const Topology g = Topology::path(4);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, StarStructure) {
+  const Topology g = Topology::star(6);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(g.degree(i), 1u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, CompleteStructure) {
+  const Topology g = Topology::complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(g.degree(i), 4u);
+}
+
+TEST(Topology, GridStructure) {
+  const Topology g = Topology::grid(2, 3);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.edge_count(), 7u);  // 2*2 horizontal + 3 vertical
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(Topology, DisconnectedDetected) {
+  Topology g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Topology, RandomConnectedIsConnected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Topology g = Topology::random_connected(12, 0.1, rng);
+    EXPECT_TRUE(g.connected());
+    EXPECT_GE(g.edge_count(), 11u);  // at least the spanning tree
+  }
+}
+
+TEST(Topology, RandomConnectedProbabilityScalesEdges) {
+  Rng rng(9);
+  const Topology sparse = Topology::random_connected(20, 0.0, rng);
+  const Topology dense = Topology::random_connected(20, 0.9, rng);
+  EXPECT_EQ(sparse.edge_count(), 19u);  // pure spanning tree
+  EXPECT_GT(dense.edge_count(), 100u);
+}
+
+}  // namespace
+}  // namespace ssr::graph

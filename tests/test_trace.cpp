@@ -1,0 +1,89 @@
+// Tests for trace recording and Figure-4-style formatting.
+#include "stabilizing/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "dijkstra/kstate.hpp"
+#include "stabilizing/daemon.hpp"
+
+namespace ssr::stab {
+namespace {
+
+TEST(TraceRecorder, RecordsRequestedSteps) {
+  dijkstra::KStateRing ring(4, 5);
+  dijkstra::KStateConfig init(4);  // all zero: legitimate, P0 enabled
+  Engine<dijkstra::KStateRing> engine(ring, init);
+  CentralRoundRobinDaemon daemon;
+  TraceRecorder<dijkstra::KStateRing> rec;
+  rec.run(engine, daemon, 8);
+  // 8 stepped entries + the final configuration entry.
+  ASSERT_EQ(rec.entries().size(), 9u);
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(rec.entries()[t].selected.size(), 1u) << "step " << t;
+    EXPECT_EQ(rec.entries()[t].rules.size(), 1u);
+  }
+  EXPECT_TRUE(rec.entries().back().selected.empty());
+}
+
+TEST(TraceRecorder, ConfigIsPreStepSnapshot) {
+  dijkstra::KStateRing ring(3, 4);
+  dijkstra::KStateConfig init(3);
+  Engine<dijkstra::KStateRing> engine(ring, init);
+  CentralRoundRobinDaemon daemon;
+  TraceRecorder<dijkstra::KStateRing> rec;
+  rec.run(engine, daemon, 1);
+  ASSERT_EQ(rec.entries().size(), 2u);
+  EXPECT_EQ(rec.entries()[0].config[0].x, 0u);  // before the bottom moved
+  EXPECT_EQ(rec.entries()[1].config[0].x, 1u);  // after
+}
+
+TEST(FormatTrace, ProducesHeaderAndCells) {
+  core::SsrMinRing ring(5, 6);
+  Engine<core::SsrMinRing> engine(ring, core::canonical_legitimate(ring, 3));
+  CentralRoundRobinDaemon daemon;
+  TraceRecorder<core::SsrMinRing> rec;
+  rec.run(engine, daemon, 3);
+  const std::string out =
+      format_trace<core::SsrMinRing>(rec.entries(), core::trace_style(ring));
+  EXPECT_NE(out.find("Step"), std::string::npos);
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P4"), std::string::npos);
+  // Figure 4 step 1 cell for P0: state 3.0.1, both tokens, Rule 1 enabled.
+  EXPECT_NE(out.find("3.0.1PS/1"), std::string::npos);
+}
+
+TEST(FormatTrace, EmptyTraceRendersEmpty) {
+  const std::vector<TraceEntry<core::SsrMinRing>> empty;
+  core::SsrMinRing ring(5, 6);
+  EXPECT_EQ(format_trace<core::SsrMinRing>(empty, core::trace_style(ring)),
+            "");
+}
+
+TEST(FormatTrace, AnnotationlessStyleWorks) {
+  dijkstra::KStateRing ring(3, 4);
+  Engine<dijkstra::KStateRing> engine(ring, dijkstra::KStateConfig(3));
+  CentralRoundRobinDaemon daemon;
+  TraceRecorder<dijkstra::KStateRing> rec;
+  rec.run(engine, daemon, 2);
+  TraceStyle<dijkstra::KStateLocal> bare;
+  bare.format_state = [](const dijkstra::KStateLocal& s) {
+    return std::to_string(s.x);
+  };
+  EXPECT_NO_THROW(format_trace<dijkstra::KStateRing>(rec.entries(), bare));
+}
+
+TEST(TraceRecorder, ClearResets) {
+  dijkstra::KStateRing ring(3, 4);
+  Engine<dijkstra::KStateRing> engine(ring, dijkstra::KStateConfig(3));
+  CentralRoundRobinDaemon daemon;
+  TraceRecorder<dijkstra::KStateRing> rec;
+  rec.run(engine, daemon, 2);
+  EXPECT_FALSE(rec.entries().empty());
+  rec.clear();
+  EXPECT_TRUE(rec.entries().empty());
+}
+
+}  // namespace
+}  // namespace ssr::stab

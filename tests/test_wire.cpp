@@ -1,0 +1,203 @@
+// Tests for the wire codec: varints, CRC-32, framing, per-protocol state
+// payloads, and the corruption -> rejection path. Includes randomized
+// round-trip and garbage-robustness properties.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssr::wire {
+namespace {
+
+TEST(Varint, RoundTripsRepresentativeValues) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{300}, std::uint64_t{16383},
+        std::uint64_t{16384}, std::uint64_t{0xFFFFFFFF}, UINT64_MAX}) {
+    Bytes buf;
+    put_varint(buf, v);
+    std::size_t offset = 0;
+    const auto back = get_varint(buf, offset);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(Varint, EncodingLengths) {
+  Bytes buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  put_varint(buf, UINT64_MAX);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Varint, TruncationDetected) {
+  Bytes buf;
+  put_varint(buf, 300);
+  buf.pop_back();  // cut the terminating byte
+  std::size_t offset = 0;
+  EXPECT_EQ(get_varint(buf, offset), std::nullopt);
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  // Eleven continuation bytes can never be a valid varint here.
+  Bytes buf(11, 0x80);
+  std::size_t offset = 0;
+  EXPECT_EQ(get_varint(buf, offset), std::nullopt);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string s = "123456789";
+  const Bytes data(s.begin(), s.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Frame, RoundTrip) {
+  const Bytes payload{1, 2, 3, 4, 5};
+  const Bytes framed = encode_frame(42, payload);
+  DecodeError error{};
+  const auto frame = decode_frame(framed, &error);
+  ASSERT_TRUE(frame.has_value()) << to_string(error);
+  EXPECT_EQ(frame->sender, 42u);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Frame, EmptyPayloadAllowed) {
+  const Bytes framed = encode_frame(7, Bytes{});
+  const auto frame = decode_frame(framed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Frame, RejectsBadMagic) {
+  Bytes framed = encode_frame(1, Bytes{9});
+  framed[0] = 0x00;
+  DecodeError error{};
+  EXPECT_EQ(decode_frame(framed, &error), std::nullopt);
+  EXPECT_EQ(error, DecodeError::kBadMagic);
+}
+
+TEST(Frame, RejectsBadVersion) {
+  Bytes framed = encode_frame(1, Bytes{9});
+  framed[1] = 99;
+  DecodeError error{};
+  EXPECT_EQ(decode_frame(framed, &error), std::nullopt);
+  EXPECT_EQ(error, DecodeError::kBadVersion);
+}
+
+TEST(Frame, RejectsTruncation) {
+  Bytes framed = encode_frame(1, Bytes{9, 9, 9});
+  framed.resize(framed.size() - 2);
+  DecodeError error{};
+  EXPECT_EQ(decode_frame(framed, &error), std::nullopt);
+  EXPECT_NE(error, DecodeError::kNone);
+}
+
+TEST(Frame, RejectsPayloadBitFlip) {
+  Bytes framed = encode_frame(1, Bytes{0xAA, 0xBB});
+  // Flip a payload bit; the CRC must catch it.
+  framed[framed.size() - 5] ^= 0x01;
+  DecodeError error{};
+  EXPECT_EQ(decode_frame(framed, &error), std::nullopt);
+  EXPECT_EQ(error, DecodeError::kBadChecksum);
+}
+
+TEST(Frame, CorruptBitsAlwaysDetectedOrHarmless) {
+  // Property: a frame with any small number of flipped bits either fails
+  // to decode, or (vanishingly unlikely with CRC-32, impossible for 1-2
+  // flips) decodes to the original content. It must never decode to
+  // *different* content.
+  Rng rng(77);
+  const core::SsrState state{5, true, false};
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes framed = encode_state_frame(3, state);
+    corrupt_bits(framed, rng, 1 + rng.below(3));
+    const auto frame = decode_frame(framed);
+    if (!frame.has_value()) continue;
+    const auto decoded = decode_ssr_state(frame->payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, state);
+    EXPECT_EQ(frame->sender, 3u);
+  }
+}
+
+TEST(Frame, RandomGarbageNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_NO_THROW({ (void)decode_frame(junk); });
+  }
+}
+
+TEST(StatePayload, SsrRoundTrip) {
+  for (std::uint32_t x : {0u, 1u, 127u, 128u, 1000000u}) {
+    for (int flags = 0; flags < 4; ++flags) {
+      const core::SsrState s{x, (flags & 2) != 0, (flags & 1) != 0};
+      const auto back = decode_ssr_state(encode_state(s));
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, s);
+    }
+  }
+}
+
+TEST(StatePayload, SsrRejectsBadFlags) {
+  Bytes payload;
+  put_varint(payload, 3);
+  payload.push_back(7);  // flags > 3
+  EXPECT_EQ(decode_ssr_state(payload), std::nullopt);
+}
+
+TEST(StatePayload, SsrRejectsTrailingBytes) {
+  Bytes payload = encode_state(core::SsrState{1, false, true});
+  payload.push_back(0);
+  EXPECT_EQ(decode_ssr_state(payload), std::nullopt);
+}
+
+TEST(StatePayload, KStateRoundTrip) {
+  for (std::uint32_t x : {0u, 5u, 4096u}) {
+    const auto back = decode_kstate(encode_state(dijkstra::KStateLocal{x}));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->x, x);
+  }
+}
+
+TEST(StatePayload, DualRoundTrip) {
+  const dijkstra::DualLocal s{3, 900};
+  const auto back = decode_dual(encode_state(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(StatePayload, DualRejectsTruncation) {
+  Bytes payload;
+  put_varint(payload, 3);  // only one of the two counters
+  EXPECT_EQ(decode_dual(payload), std::nullopt);
+}
+
+TEST(CorruptBits, RequiresNonEmptyFrame) {
+  Bytes empty;
+  Rng rng(1);
+  EXPECT_THROW(corrupt_bits(empty, rng), std::invalid_argument);
+}
+
+TEST(DecodeErrorNames, AllDistinct) {
+  EXPECT_EQ(to_string(DecodeError::kNone), "none");
+  EXPECT_EQ(to_string(DecodeError::kTruncated), "truncated");
+  EXPECT_EQ(to_string(DecodeError::kBadMagic), "bad-magic");
+  EXPECT_EQ(to_string(DecodeError::kBadVersion), "bad-version");
+  EXPECT_EQ(to_string(DecodeError::kBadLength), "bad-length");
+  EXPECT_EQ(to_string(DecodeError::kBadChecksum), "bad-checksum");
+}
+
+}  // namespace
+}  // namespace ssr::wire

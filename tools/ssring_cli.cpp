@@ -1,0 +1,426 @@
+// ssring — the umbrella command-line tool for the library.
+//
+//   ssring trace     [--n N] [--k K] [--steps S] [--daemon D] [--seed X]
+//                    [--start legit|random|allzero]
+//       Print a Figure-4-style execution table.
+//
+//   ssring converge  [--n N] [--trials T] [--daemon D] [--seed X]
+//       Convergence-step statistics from random initial configurations.
+//
+//   ssring check     [--n N] [--k K]
+//       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst case.
+//
+//   ssring modelgap  [--n N] [--delay D] [--duration T] [--seed X]
+//       Token availability of ssrmin vs dijkstra vs 2x dijkstra under CST.
+//
+//   ssring timeline  [--n N] [--cols C] [--algo ssrmin|dijkstra|dual]
+//       ASCII token timeline (the Figures 11-13 visual).
+//
+//   ssring camera    [--n N] [--duration T]
+//       Camera-network policy comparison.
+//
+//   ssring mis       [--n N] [--topology ring|path|star|complete|random]
+//       Run the MIS (local mutual inclusion) to silence and print it.
+//
+//   ssring markov    [--n N] [--k K]
+//       Exact expected stabilization time under the random central daemon.
+//
+//   ssring perturb   [--n N] [--k K]
+//       Exhaustive single-fault recovery analysis.
+//
+//   ssring tail      [--n N] [--spread S] [--duration T]
+//       Delay-variance stress on the graceful handover (experiment E22).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/legitimacy.hpp"
+#include "core/ssrmin.hpp"
+#include "dijkstra/dual.hpp"
+#include "graph/check.hpp"
+#include "graph/protocol.hpp"
+#include "inclusion/camera.hpp"
+#include "msgpass/factories.hpp"
+#include "msgpass/timeline.hpp"
+#include "stabilizing/daemon.hpp"
+#include "stabilizing/engine.hpp"
+#include "stabilizing/trace.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "verify/checkers.hpp"
+#include "verify/markov.hpp"
+#include "verify/perturbation.hpp"
+
+namespace {
+
+using namespace ssr;
+
+const char* value_of(int argc, char** argv, const char* key,
+                     const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::size_t arg_n(int argc, char** argv, const char* fallback = "5") {
+  return static_cast<std::size_t>(std::atoi(value_of(argc, argv, "--n", fallback)));
+}
+
+std::uint32_t arg_k(int argc, char** argv, std::size_t n) {
+  const int k = std::atoi(value_of(argc, argv, "--k", "0"));
+  return k > 0 ? static_cast<std::uint32_t>(k)
+               : static_cast<std::uint32_t>(n + 1);
+}
+
+std::uint64_t arg_seed(int argc, char** argv) {
+  return static_cast<std::uint64_t>(
+      std::atoll(value_of(argc, argv, "--seed", "1")));
+}
+
+int cmd_trace(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv);
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const auto steps = static_cast<std::uint64_t>(
+      std::atoll(value_of(argc, argv, "--steps", "20")));
+  const std::string daemon_name =
+      value_of(argc, argv, "--daemon", "central-round-robin");
+  const std::string start = value_of(argc, argv, "--start", "legit");
+  Rng rng(arg_seed(argc, argv));
+
+  const core::SsrMinRing ring(n, K);
+  core::SsrConfig initial;
+  if (start == "legit") {
+    initial = core::canonical_legitimate(ring, 0);
+  } else if (start == "random") {
+    initial = core::random_config(ring, rng);
+  } else if (start == "allzero") {
+    initial.assign(n, core::SsrState{});
+  } else {
+    std::cerr << "unknown --start: " << start << '\n';
+    return 2;
+  }
+  stab::Engine<core::SsrMinRing> engine(ring, initial);
+  auto daemon = stab::make_daemon(daemon_name, rng.split());
+  stab::TraceRecorder<core::SsrMinRing> rec;
+  rec.run(engine, *daemon, steps);
+  std::cout << stab::format_trace<core::SsrMinRing>(rec.entries(),
+                                                    core::trace_style(ring));
+  std::cout << "\nlegitimate: "
+            << (core::is_legitimate(ring, engine.config()) ? "yes" : "no")
+            << ", privileged: "
+            << core::privileged_count(ring, engine.config()) << '\n';
+  return 0;
+}
+
+int cmd_converge(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "16");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const int trials = std::atoi(value_of(argc, argv, "--trials", "50"));
+  const std::string daemon_name =
+      value_of(argc, argv, "--daemon", "distributed-random-subset");
+  Rng rng(arg_seed(argc, argv));
+
+  const core::SsrMinRing ring(n, K);
+  SampleSet steps;
+  for (int t = 0; t < trials; ++t) {
+    stab::Engine<core::SsrMinRing> engine(ring, core::random_config(ring, rng));
+    auto daemon = stab::make_daemon(daemon_name, rng.split());
+    auto legit = [&ring](const core::SsrConfig& c) {
+      return core::is_legitimate(ring, c);
+    };
+    const auto r = stab::run_until(engine, *daemon, legit, 200ULL * n * n);
+    if (r.reached) steps.add(static_cast<double>(r.steps));
+  }
+  TextTable table({"n", "K", "daemon", "trials", "mean", "p50", "p95", "max",
+                   "mean/n^2"});
+  table.row()
+      .cell(n)
+      .cell(K)
+      .cell(daemon_name)
+      .cell(steps.count())
+      .cell(steps.mean(), 1)
+      .cell(steps.median(), 1)
+      .cell(steps.percentile(95), 1)
+      .cell(steps.max(), 0)
+      .cell(steps.mean() / (static_cast<double>(n) * n), 3);
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "3");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  auto checker = verify::make_ssrmin_checker(n, K);
+  std::cout << "checking all " << checker.codec().total()
+            << " configurations of SSRmin(n=" << n << ", K=" << K
+            << ") under the full distributed daemon...\n";
+  const auto report = checker.run();
+  std::cout << report.summary() << '\n';
+  return report.all_ok() ? 0 : 1;
+}
+
+int cmd_modelgap(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "5");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const double delay = std::atof(value_of(argc, argv, "--delay", "1.0"));
+  const double duration =
+      std::atof(value_of(argc, argv, "--duration", "4000"));
+  msgpass::NetworkParams net;
+  net.delay_min = 0.5 * delay;
+  net.delay_max = delay;
+  net.refresh_interval = 8.0 * delay;
+  net.seed = arg_seed(argc, argv);
+
+  TextTable table({"algorithm", "coverage %", "zero intervals", "min holders",
+                   "max holders", "handovers"});
+  auto add = [&table](const std::string& name,
+                      const msgpass::CoverageStats& s) {
+    table.row()
+        .cell(name)
+        .cell(100.0 * s.coverage(), 2)
+        .cell(s.zero_intervals)
+        .cell(s.min_holders)
+        .cell(s.max_holders)
+        .cell(s.handovers);
+  };
+  {
+    dijkstra::KStateRing ring(n, K);
+    auto sim = msgpass::make_kstate_cst(ring, dijkstra::KStateConfig(n), net);
+    add("dijkstra", sim.run(duration));
+  }
+  {
+    dijkstra::DualKStateRing ring(n, K);
+    dijkstra::DualConfig init(n);
+    for (std::size_t i = 0; i < n; ++i) init[i].b = (i < n / 2) ? 1 : 0;
+    auto sim = msgpass::make_dual_cst(ring, init, net);
+    add("2x dijkstra", sim.run(duration));
+  }
+  {
+    core::SsrMinRing ring(n, K);
+    auto sim = msgpass::make_ssrmin_cst(
+        ring, core::canonical_legitimate(ring, 0), net);
+    add("ssrmin", sim.run(duration));
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_timeline(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "5");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const auto cols = static_cast<std::size_t>(
+      std::atoi(value_of(argc, argv, "--cols", "96")));
+  const std::string algo = value_of(argc, argv, "--algo", "ssrmin");
+  msgpass::NetworkParams net;
+  net.seed = arg_seed(argc, argv);
+  const double resolution = 0.5;
+  const double duration = resolution * static_cast<double>(cols) + 5.0;
+  msgpass::TimelineRecorder rec(n, resolution);
+  if (algo == "ssrmin") {
+    core::SsrMinRing ring(n, K);
+    auto sim = msgpass::make_ssrmin_cst(
+        ring, core::canonical_legitimate(ring, 0), net);
+    rec.attach(sim);
+    sim.run(duration);
+  } else if (algo == "dijkstra") {
+    dijkstra::KStateRing ring(n, K);
+    auto sim = msgpass::make_kstate_cst(ring, dijkstra::KStateConfig(n), net);
+    rec.attach(sim);
+    sim.run(duration);
+  } else if (algo == "dual") {
+    dijkstra::DualKStateRing ring(n, K);
+    dijkstra::DualConfig init(n);
+    for (std::size_t i = 0; i < n; ++i) init[i].b = (i < n / 2) ? 1 : 0;
+    auto sim = msgpass::make_dual_cst(ring, init, net);
+    rec.attach(sim);
+    sim.run(duration);
+  } else {
+    std::cerr << "unknown --algo: " << algo << '\n';
+    return 2;
+  }
+  std::cout << rec.render(cols);
+  std::cout << "legend: '#' holds a token, '!' zero holders, '2' two "
+               "holders\n";
+  return 0;
+}
+
+int cmd_camera(int argc, char** argv) {
+  incl::CameraParams params;
+  params.node_count = arg_n(argc, argv, "8");
+  params.duration = std::atof(value_of(argc, argv, "--duration", "3000"));
+  params.net.seed = arg_seed(argc, argv);
+  TextTable table({"policy", "coverage %", "blackouts", "mean active",
+                   "energy", "min battery", "fairness"});
+  for (auto policy :
+       {incl::CameraPolicy::kSsrMin, incl::CameraPolicy::kDijkstra,
+        incl::CameraPolicy::kDualDijkstra, incl::CameraPolicy::kAllActive}) {
+    const auto r = incl::run_camera(policy, params);
+    table.row()
+        .cell(incl::to_string(policy))
+        .cell(100.0 * r.coverage, 3)
+        .cell(r.blackout_intervals)
+        .cell(r.mean_active, 2)
+        .cell(r.energy_consumed, 0)
+        .cell(r.min_battery, 1)
+        .cell(r.duty_fairness, 3);
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_mis(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "9");
+  const std::string topo_name = value_of(argc, argv, "--topology", "ring");
+  Rng rng(arg_seed(argc, argv));
+  graph::Topology topo = [&]() {
+    if (topo_name == "ring") return graph::Topology::ring(n);
+    if (topo_name == "path") return graph::Topology::path(n);
+    if (topo_name == "star") return graph::Topology::star(n);
+    if (topo_name == "complete") return graph::Topology::complete(n);
+    if (topo_name == "random")
+      return graph::Topology::random_connected(n, 0.25, rng);
+    std::cerr << "unknown --topology: " << topo_name << "; using ring\n";
+    return graph::Topology::ring(n);
+  }();
+  graph::TurauMis mis(topo);
+  graph::GraphEngine<graph::TurauMis> engine(mis,
+                                             graph::random_config(topo, rng));
+  stab::RandomSubsetDaemon daemon{rng.split(), 0.5};
+  const auto steps = graph::run_to_silence(engine, daemon, 1000000);
+  if (!steps.has_value()) {
+    std::cerr << "did not stabilize within the step budget\n";
+    return 1;
+  }
+  std::cout << "topology " << topo_name << " (n=" << n << ", "
+            << topo.edge_count() << " edges) stabilized after " << *steps
+            << " steps\n";
+  std::cout << "MIS members (always-active nodes):";
+  for (std::size_t m : graph::mis_members(engine.config())) {
+    std::cout << " v" << m;
+  }
+  std::cout << "\nstable MIS: "
+            << (graph::is_stable_mis(topo, engine.config()) ? "yes" : "no")
+            << '\n';
+  return 0;
+}
+
+int cmd_markov(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "3");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  auto checker = verify::make_ssrmin_checker(n, K);
+  verify::CheckOptions options;
+  options.keep_heights = true;
+  const auto check = checker.run(options);
+  const auto hit = verify::expected_hitting_times(checker);
+  TextTable table({"configs", "mean E[steps]", "max E[steps]",
+                   "adversarial worst case", "solver converged"});
+  table.row()
+      .cell(checker.codec().total())
+      .cell(hit.mean_expected, 3)
+      .cell(hit.max_expected, 3)
+      .cell(check.worst_case_steps)
+      .cell(hit.converged);
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_perturb(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "3");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const verify::PerturbationReport r = verify::analyze_single_faults(n, K);
+  std::cout << r.summary() << "\nrecovery distribution:\n";
+  TextTable hist({"steps", "cases"});
+  for (std::size_t s = 0; s < r.histogram.size(); ++s) {
+    if (r.histogram[s] != 0) hist.row().cell(s).cell(r.histogram[s]);
+  }
+  std::cout << hist.render();
+  return r.safety_preserved ? 0 : 1;
+}
+
+int cmd_tail(int argc, char** argv) {
+  const std::size_t n = arg_n(argc, argv, "3");
+  const std::uint32_t K = arg_k(argc, argv, n);
+  const double spread = std::atof(value_of(argc, argv, "--spread", "3.0"));
+  const double duration =
+      std::atof(value_of(argc, argv, "--duration", "200000"));
+  TextTable table({"delay model", "coverage %", "zero intervals",
+                   "mean gap"});
+  for (auto model : {msgpass::DelayModel::kUniform,
+                     msgpass::DelayModel::kExponentialTail}) {
+    core::SsrMinRing ring(n, K);
+    msgpass::NetworkParams p;
+    p.delay_min = 0.05;
+    p.delay_max = 0.05 + spread;
+    p.delay_model = model;
+    p.service_min = 0.05;
+    p.service_max = 0.1;
+    p.refresh_interval = 40.0;
+    p.seed = arg_seed(argc, argv);
+    auto sim = msgpass::make_ssrmin_cst(
+        ring, core::canonical_legitimate(ring, 0), p);
+    const auto s = sim.run(duration);
+    table.row()
+        .cell(model == msgpass::DelayModel::kUniform ? "uniform"
+                                                     : "exponential tail")
+        .cell(100.0 * s.coverage(), 4)
+        .cell(s.zero_intervals)
+        .cell(s.zero_intervals > 0
+                  ? s.zero_token_time / static_cast<double>(s.zero_intervals)
+                  : 0.0,
+              2);
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+void usage() {
+  std::cout
+      << "ssring <command> [options]\n\n"
+         "commands:\n"
+         "  trace      print a Figure-4-style execution table\n"
+         "  converge   convergence statistics from random starts\n"
+         "  check      exhaustive model check (small n)\n"
+         "  modelgap   token availability under message passing\n"
+         "  timeline   ASCII token timeline (Figures 11-13)\n"
+         "  camera     camera-network policy comparison\n"
+         "  mis        local mutual inclusion (MIS) on a general topology\n"
+         "  markov     exact expected stabilization time (small n)\n"
+         "  perturb    exhaustive single-fault recovery analysis\n"
+         "  tail       delay-variance stress on the handover (E22)\n"
+         "\ncommon options: --n --k --seed; see tools/ssring_cli.cpp for "
+         "the full per-command list.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "converge") return cmd_converge(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "modelgap") return cmd_modelgap(argc, argv);
+    if (cmd == "timeline") return cmd_timeline(argc, argv);
+    if (cmd == "camera") return cmd_camera(argc, argv);
+    if (cmd == "mis") return cmd_mis(argc, argv);
+    if (cmd == "markov") return cmd_markov(argc, argv);
+    if (cmd == "perturb") return cmd_perturb(argc, argv);
+    if (cmd == "tail") return cmd_tail(argc, argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n\n";
+  usage();
+  return 2;
+}
