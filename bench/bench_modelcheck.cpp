@@ -2,8 +2,18 @@
 // verification over the full configuration space for small (n, K), with
 // the exact worst-case stabilization time under the adversarial
 // distributed daemon.
+//
+// Each space is checked at 1 worker thread and (when the host has more
+// than one hardware thread) at full hardware concurrency; the reports are
+// bit-identical, so the extra rows only measure the sharded-sweep speedup.
+// Besides the usual table/export, the run always writes
+// BENCH_modelcheck.json (rows: protocol, n, K, configs, threads, wall_ms)
+// so successive PRs can track the checker's throughput trajectory.
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "dijkstra/kstate.hpp"
@@ -12,28 +22,46 @@
 
 namespace {
 
+std::vector<std::size_t> thread_counts() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (hw == 1) return {1};
+  return {1, hw};
+}
+
 template <typename Checker>
-void run_row(ssr::TextTable& table, const std::string& name, std::size_t n,
-             std::uint32_t K, const Checker& checker,
-             const ssr::verify::CheckOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const ssr::verify::CheckReport r = checker.run(options);
-  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-  table.row()
-      .cell(name)
-      .cell(n)
-      .cell(K)
-      .cell(r.total_configs)
-      .cell(r.legitimate_configs)
-      .cell(r.deadlock_free)
-      .cell(r.closure_holds)
-      .cell(r.token_bounds_hold)
-      .cell(r.convergence_holds)
-      .cell(r.worst_case_steps)
-      .cell(r.min_privileged_anywhere)
-      .cell(static_cast<std::uint64_t>(ms));
+void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
+             const std::string& name, std::size_t n, std::uint32_t K,
+             const Checker& checker, ssr::verify::CheckOptions options) {
+  for (std::size_t threads : thread_counts()) {
+    options.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ssr::verify::CheckReport r = checker.run(options);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    table.row()
+        .cell(name)
+        .cell(n)
+        .cell(K)
+        .cell(r.total_configs)
+        .cell(r.legitimate_configs)
+        .cell(threads)
+        .cell(r.deadlock_free)
+        .cell(r.closure_holds)
+        .cell(r.token_bounds_hold)
+        .cell(r.convergence_holds)
+        .cell(r.worst_case_steps)
+        .cell(r.min_privileged_anywhere)
+        .cell(static_cast<std::uint64_t>(ms));
+    trajectory.row()
+        .cell(name)
+        .cell(n)
+        .cell(K)
+        .cell(r.total_configs)
+        .cell(threads)
+        .cell(static_cast<std::uint64_t>(ms));
+  }
 }
 
 }  // namespace
@@ -46,46 +74,60 @@ int main() {
       "closed on Lambda, keeps 1..2 privileged processes there, always has "
       ">= 1 privileged process anywhere, and every execution converges");
 
-  TextTable table({"protocol", "n", "K", "configs", "legit", "no-deadlock",
-                   "closure", "tokens[1,2]", "convergence", "worst steps",
-                   "min priv anywhere", "ms"});
+  TextTable table({"protocol", "n", "K", "configs", "legit", "threads",
+                   "no-deadlock", "closure", "tokens[1,2]", "convergence",
+                   "worst steps", "min priv anywhere", "ms"});
+  TextTable trajectory({"protocol", "n", "K", "configs", "threads",
+                        "wall_ms"});
 
   verify::CheckOptions ssr_options;  // defaults: privileged in [1,2]
-  run_row(table, "ssrmin", 3, 4, verify::make_ssrmin_checker(3, 4),
+  run_row(table, trajectory, "ssrmin", 3, 4, verify::make_ssrmin_checker(3, 4),
           ssr_options);
-  run_row(table, "ssrmin", 3, 5, verify::make_ssrmin_checker(3, 5),
+  run_row(table, trajectory, "ssrmin", 3, 5, verify::make_ssrmin_checker(3, 5),
           ssr_options);
-  run_row(table, "ssrmin", 3, 6, verify::make_ssrmin_checker(3, 6),
+  run_row(table, trajectory, "ssrmin", 3, 6, verify::make_ssrmin_checker(3, 6),
           ssr_options);
-  run_row(table, "ssrmin", 4, 5, verify::make_ssrmin_checker(4, 5),
+  run_row(table, trajectory, "ssrmin", 4, 5, verify::make_ssrmin_checker(4, 5),
+          ssr_options);
+  // 331k configurations: full-mode-only before the sharded sweep, now a
+  // default row.
+  run_row(table, trajectory, "ssrmin", 4, 6, verify::make_ssrmin_checker(4, 6),
           ssr_options);
   if (bench::full_mode()) {
-    run_row(table, "ssrmin", 4, 6, verify::make_ssrmin_checker(4, 6),
-            ssr_options);
+    run_row(table, trajectory, "ssrmin", 4, 7,
+            verify::make_ssrmin_checker(4, 7), ssr_options);
     // The big one: 24^5 ≈ 8M configurations, every distributed-daemon
     // subset choice.
-    run_row(table, "ssrmin", 5, 6, verify::make_ssrmin_checker(5, 6),
-            ssr_options);
+    run_row(table, trajectory, "ssrmin", 5, 6,
+            verify::make_ssrmin_checker(5, 6), ssr_options);
   }
 
   verify::CheckOptions dij_options;
   dij_options.min_privileged = 1;
   dij_options.max_privileged = 1;
-  run_row(table, "dijkstra", 3, 4, verify::make_kstate_checker(3, 4),
-          dij_options);
-  run_row(table, "dijkstra", 4, 5, verify::make_kstate_checker(4, 5),
-          dij_options);
-  run_row(table, "dijkstra", 5, 6, verify::make_kstate_checker(5, 6),
-          dij_options);
-  run_row(table, "dijkstra", 6, 7, verify::make_kstate_checker(6, 7),
-          dij_options);
+  run_row(table, trajectory, "dijkstra", 3, 4,
+          verify::make_kstate_checker(3, 4), dij_options);
+  run_row(table, trajectory, "dijkstra", 4, 5,
+          verify::make_kstate_checker(4, 5), dij_options);
+  run_row(table, trajectory, "dijkstra", 5, 6,
+          verify::make_kstate_checker(5, 6), dij_options);
+  run_row(table, trajectory, "dijkstra", 6, 7,
+          verify::make_kstate_checker(6, 7), dij_options);
+  // 8^7 ≈ 2M configurations — previously full-mode-only territory.
+  run_row(table, trajectory, "dijkstra", 7, 8,
+          verify::make_kstate_checker(7, 8), dij_options);
   if (bench::full_mode()) {
-    run_row(table, "dijkstra", 7, 8, verify::make_kstate_checker(7, 8),
-            dij_options);
+    run_row(table, trajectory, "dijkstra", 8, 9,
+            verify::make_kstate_checker(8, 9), dij_options);
   }
 
   std::cout << table.render() << '\n';
   bench::maybe_export(table, "modelcheck");
+  {
+    std::ofstream json("BENCH_modelcheck.json");
+    json << trajectory.to_json(2) << '\n';
+  }
+  std::cout << "(wrote BENCH_modelcheck.json)\n";
   std::cout << "paper expectation: every boolean column 'yes'; legit = 3nK "
                "(SSRmin, Def. 1) / nK (Dijkstra); worst steps grow ~ n^2 "
                "(Theorem 2; Dijkstra bound 3n(n-1)/2 per [1]).\n";

@@ -23,4 +23,6 @@ for b in build/bench/bench_*; do
   echo | tee -a bench_output.txt
 done
 
-echo "done: test_output.txt, bench_output.txt"
+# bench_modelcheck also drops a machine-readable throughput trajectory
+# (protocol, n, K, configs, threads, wall_ms) next to the text outputs.
+echo "done: test_output.txt, bench_output.txt, BENCH_modelcheck.json"

@@ -81,14 +81,14 @@ class Engine {
   /// Applies one composite-atomicity step at the given processes. Every
   /// selected process must be enabled; all selected processes read the
   /// pre-step configuration. Returns the rules executed (parallel to
-  /// @p selected).
-  std::vector<int> step(std::span<const std::size_t> selected) {
+  /// @p selected); the reference stays valid until the next step() call.
+  const std::vector<int>& step(std::span<const std::size_t> selected) {
     SSR_REQUIRE(!selected.empty(), "a step must move at least one process");
     const std::size_t n = config_.size();
-    std::vector<std::pair<std::size_t, State>> writes;
-    std::vector<int> rules;
-    writes.reserve(selected.size());
-    rules.reserve(selected.size());
+    scratch_writes_.clear();
+    step_rules_.clear();
+    scratch_writes_.reserve(selected.size());
+    step_rules_.reserve(selected.size());
     for (std::size_t i : selected) {
       SSR_REQUIRE(i < n, "selected process index out of range");
       const State& self = config_[i];
@@ -96,13 +96,13 @@ class Engine {
       const State& succ = config_[succ_index(i, n)];
       const int rule = protocol_.enabled_rule(i, self, pred, succ);
       SSR_REQUIRE(rule != kDisabled, "daemon selected a disabled process");
-      writes.emplace_back(i, protocol_.apply(i, rule, self, pred, succ));
-      rules.push_back(rule);
+      scratch_writes_.emplace_back(i, protocol_.apply(i, rule, self, pred, succ));
+      step_rules_.push_back(rule);
     }
-    for (auto& [i, s] : writes) config_[i] = std::move(s);
+    for (auto& [i, s] : scratch_writes_) config_[i] = std::move(s);
     ++steps_;
     moves_ += selected.size();
-    return rules;
+    return step_rules_;
   }
 
   /// Asks the daemon for a selection and applies it. Returns false (and
@@ -131,6 +131,10 @@ class Engine {
   // Reused across step_with calls to avoid per-step allocation.
   std::vector<std::size_t> scratch_indices_;
   std::vector<int> scratch_rules_;
+  // Reused across step calls (same reason); step_rules_ doubles as the
+  // returned rule list.
+  std::vector<std::pair<std::size_t, State>> scratch_writes_;
+  std::vector<int> step_rules_;
 };
 
 /// Outcome of a bounded run (see run_until below).

@@ -1,0 +1,153 @@
+// A small reusable pool of persistent workers for data-parallel sweeps.
+//
+// Built for the exhaustive model checker's sharded configuration sweeps,
+// but generic: any index range can be split into dynamically claimed
+// chunks (runtime/ can reuse it for batched simulation fan-out). Two
+// design points matter for the checker:
+//
+//  * the calling thread participates as worker 0, so ThreadPool(1) spawns
+//    no threads at all and runs everything inline — the sequential path is
+//    the one-worker special case of the parallel path, not separate code;
+//  * workers are identified by a dense id in [0, size()), so callers can
+//    keep per-worker scratch/partial-result slots and merge them in a
+//    fixed order afterwards, which is how the checker keeps its reports
+//    bit-identical at every thread count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssr::util {
+
+class ThreadPool {
+ public:
+  /// @param threads total workers including the caller (0 = one per
+  /// hardware thread).
+  explicit ThreadPool(std::size_t threads = 0) {
+    SSR_REQUIRE(threads <= 1024,
+                "thread count out of range (wrapped negative value?)");
+    const std::size_t n =
+        threads != 0 ? threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency());
+    workers_.reserve(n - 1);
+    for (std::size_t id = 1; id < n; ++id) {
+      workers_.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, caller included (>= 1).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Invokes task(worker_id) once on every worker — the caller runs as
+  /// worker 0 — and blocks until all invocations return. An exception
+  /// thrown by any worker is rethrown on the caller (first one wins).
+  template <typename Task>
+  void run_on_all(Task&& task) {
+    if (workers_.empty()) {
+      task(std::size_t{0});
+      return;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      job_ = [&task](std::size_t id) { task(id); };
+      ++generation_;
+      running_ = workers_.size();
+    }
+    work_cv_.notify_all();
+    try {
+      task(std::size_t{0});
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+    if (error_ != nullptr) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Splits [begin, end) into chunks of at most @p chunk indices, claimed
+  /// dynamically by the workers, and calls body(worker_id, lo, hi) once
+  /// per claimed chunk. Blocks until the whole range is processed.
+  template <typename Body>
+  void for_chunks(std::uint64_t begin, std::uint64_t end, std::uint64_t chunk,
+                  Body&& body) {
+    if (begin >= end) return;
+    SSR_REQUIRE(chunk > 0, "chunk size must be positive");
+    std::atomic<std::uint64_t> next{begin};
+    run_on_all([&](std::size_t id) {
+      for (;;) {
+        const std::uint64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end) break;
+        body(id, lo, std::min(lo + chunk, end));
+      }
+    });
+  }
+
+ private:
+  void worker_loop(std::size_t id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::function<void(std::size_t)> job;
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      try {
+        job(id);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+      {
+        std::lock_guard lock(mutex_);
+        if (--running_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard lock(mutex_);
+    if (error_ == nullptr) error_ = e;
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::function<void(std::size_t)> job_;
+  std::uint64_t generation_ = 0;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ssr::util

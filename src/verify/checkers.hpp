@@ -1,4 +1,9 @@
 // Ready-made exhaustive checkers for the protocols in this library.
+//
+// Both checkers run their sweeps and convergence pass on a worker pool
+// controlled by CheckOptions::threads (0 = hardware concurrency, 1 =
+// sequential); the resulting CheckReport is bit-identical at every thread
+// count.
 #pragma once
 
 #include "core/legitimacy.hpp"

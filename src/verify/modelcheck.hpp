@@ -24,8 +24,33 @@
 // The checker is generic over the protocol; a StateCodec maps local states
 // to dense codes so a configuration becomes one base-(codec.count())
 // integer.
+//
+// run() executes as a two-phase parallel pipeline over a util::ThreadPool
+// (CheckOptions::threads; 1 = fully sequential, 0 = hardware concurrency):
+//
+//   Phase A (sharded sweep)  — the index range [0, total) is split into
+//     dynamically claimed chunks; each worker walks its chunk with an
+//     allocation-free ConfigOdometer (incremental base-radix counter, no
+//     division, no per-configuration decode), fills the shared Lambda
+//     membership table, and accumulates per-worker partial results. The
+//     closure check consults the precomputed legitimacy table instead of
+//     re-decoding successors. Witnesses merge as "lowest index wins", so
+//     the report is bit-identical to the sequential ascending scan.
+//
+//   Phase B (convergence)    — instead of a DFS, heights are computed by
+//     level-synchronous *reverse induction from Lambda* over a predecessor
+//     CSR: a configuration finalizes once all its successors have, and the
+//     finalizing round is its height (= 1 + max successor height); a
+//     frontier that drains early certifies an illegitimate cycle (the
+//     residue is exactly the set of configurations from which the daemon
+//     can avoid Lambda forever). The height fixpoint is unique, so the
+//     table — and hence worst_case_steps — is identical at every thread
+//     count.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -34,11 +59,14 @@
 
 #include "stabilizing/protocol.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssr::verify {
 
 /// Verification report. Counterexamples are encoded configuration indices
-/// (decode with ConfigCodec::decode for inspection).
+/// (decode with ConfigCodec::decode for inspection). All witnesses are the
+/// lowest-numbered configuration exhibiting the property, independent of
+/// CheckOptions::threads.
 struct CheckReport {
   std::uint64_t total_configs = 0;
   std::uint64_t legitimate_configs = 0;
@@ -53,12 +81,14 @@ struct CheckReport {
   std::optional<std::uint64_t> token_witness;
 
   bool convergence_holds = true;
-  std::optional<std::uint64_t> cycle_witness;  ///< config on an illegit cycle
+  /// Lowest-numbered configuration from which some execution avoids Lambda
+  /// forever (it lies on, or reaches, an illegitimate cycle).
+  std::optional<std::uint64_t> cycle_witness;
 
   /// Max steps from any illegitimate configuration to Lambda under the
   /// worst daemon strategy. Only meaningful when convergence_holds.
   std::uint64_t worst_case_steps = 0;
-  /// An illegitimate configuration realizing worst_case_steps.
+  /// Lowest-numbered illegitimate configuration realizing worst_case_steps.
   std::optional<std::uint64_t> worst_case_witness;
 
   /// Minimum number of privileged processes over *all* configurations
@@ -93,6 +123,10 @@ struct CheckOptions {
   /// Expected privileged-count bounds in legitimate configurations.
   std::size_t min_privileged = 1;
   std::size_t max_privileged = 2;
+  /// Worker threads for the sweep and convergence passes; 0 = one per
+  /// hardware thread, 1 = fully sequential. The report is bit-identical
+  /// at every thread count.
+  std::size_t threads = 0;
 };
 
 /// Dense encoding of whole configurations as base-(states_per_process)
@@ -112,9 +146,11 @@ class ConfigCodec {
     SSR_REQUIRE(radix_ >= 2, "need at least two states per process");
     // Guard against u64 overflow of radix^n.
     std::uint64_t total = 1;
+    weights_.reserve(n_);
     for (std::size_t i = 0; i < n_; ++i) {
       SSR_REQUIRE(total <= UINT64_MAX / radix_,
                   "configuration space exceeds 2^64; reduce n or K");
+      weights_.push_back(total);
       total *= radix_;
     }
     total_ = total;
@@ -124,6 +160,12 @@ class ConfigCodec {
 
   std::size_t ring_size() const { return n_; }
   std::uint64_t total() const { return total_; }
+  std::uint64_t radix() const { return radix_; }
+  /// Positional weight of process i in the mixed-radix code: radix^i.
+  std::uint64_t weight(std::size_t i) const { return weights_[i]; }
+
+  std::uint32_t encode_digit(const State& s) const { return encode_(s); }
+  State decode_digit(std::uint32_t digit) const { return decode_(digit); }
 
   std::uint64_t encode(const std::vector<State>& config) const {
     SSR_REQUIRE(config.size() == n_, "configuration size mismatch");
@@ -148,6 +190,65 @@ class ConfigCodec {
   Encoder encode_;
   Decoder decode_;
   std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> weights_;
+};
+
+/// Allocation-free enumeration of consecutive configurations: decodes the
+/// starting index once, then advances like an odometer (amortized O(1)
+/// decoder calls per configuration, no division, no allocation). Local
+/// states are materialized through a digit -> State table built once, so
+/// the per-step cost is a table copy, not a std::function call.
+template <typename State>
+class ConfigOdometer {
+ public:
+  explicit ConfigOdometer(const ConfigCodec<State>& codec)
+      : codec_(&codec),
+        digits_(codec.ring_size(), 0),
+        config_(codec.ring_size(), codec.decode_digit(0)) {
+    states_.reserve(static_cast<std::size_t>(codec.radix()));
+    for (std::uint32_t d = 0; d < codec.radix(); ++d) {
+      states_.push_back(codec.decode_digit(d));
+    }
+  }
+
+  /// Repositions at configuration @p idx.
+  void seek(std::uint64_t idx) {
+    SSR_REQUIRE(idx < codec_->total(), "configuration index out of range");
+    code_ = idx;
+    for (std::size_t i = 0; i < digits_.size(); ++i) {
+      const auto d = static_cast<std::uint32_t>(idx % codec_->radix());
+      digits_[i] = d;
+      config_[i] = states_[d];
+      idx /= codec_->radix();
+    }
+  }
+
+  /// Carry-propagating increment to the next configuration. Callers bound
+  /// their loops by ConfigCodec::total(); advancing past the last
+  /// configuration wraps to zero.
+  void advance() {
+    ++code_;
+    for (std::size_t i = 0; i < digits_.size(); ++i) {
+      if (++digits_[i] < codec_->radix()) {
+        config_[i] = states_[digits_[i]];
+        return;
+      }
+      digits_[i] = 0;
+      config_[i] = states_[0];
+    }
+    code_ = 0;
+  }
+
+  std::uint64_t code() const { return code_; }
+  const std::vector<State>& config() const { return config_; }
+  const std::vector<std::uint32_t>& digits() const { return digits_; }
+
+ private:
+  const ConfigCodec<State>* codec_;
+  std::uint64_t code_ = 0;
+  std::vector<std::uint32_t> digits_;
+  std::vector<State> config_;
+  std::vector<State> states_;  ///< digit -> decoded local state
 };
 
 /// Exhaustive checker over all configurations of a protocol.
@@ -178,19 +279,33 @@ class ModelChecker {
     return privileged_(config);
   }
 
-  /// All successor configurations of @p config under the distributed
-  /// daemon (one per non-empty subset of the enabled processes; may
-  /// contain duplicates). Empty iff the configuration is deadlocked.
+  /// All distinct successor configurations of @p config under the
+  /// distributed daemon (one per non-empty subset of the enabled
+  /// processes; deduplicated, sorted ascending). Empty iff the
+  /// configuration is deadlocked.
   std::vector<std::uint64_t> successor_codes(const Config& config) const {
-    std::vector<std::size_t> idx;
-    std::vector<int> rules;
-    std::vector<std::uint64_t> out;
-    enabled(config, idx, rules);
-    if (!idx.empty()) successors(config, idx, rules, out);
-    return out;
+    SweepScratch s;
+    enabled(config, s.idx, s.rules);
+    if (s.idx.empty()) return {};
+    std::vector<std::uint32_t> digits(config.size());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      digits[i] = codec_.encode_digit(config[i]);
+    }
+    successors_at(config, digits, codec_.encode(config), s);
+    return std::move(s.succs);
   }
 
  private:
+  /// Per-worker reusable buffers for the sweep (no per-configuration
+  /// allocation once warm).
+  struct SweepScratch {
+    std::vector<std::size_t> idx;       ///< enabled process indices
+    std::vector<int> rules;             ///< their enabled rules
+    std::vector<std::int64_t> deltas;   ///< per enabled process: code delta
+    std::vector<std::int64_t> sums;     ///< subset-sum table (size 2^m)
+    std::vector<std::uint64_t> succs;   ///< deduped successor codes
+  };
+
   /// Indices of enabled processes and their rules in @p config.
   void enabled(const Config& config, std::vector<std::size_t>& idx,
                std::vector<int>& rules) const {
@@ -208,32 +323,60 @@ class ModelChecker {
     }
   }
 
-  /// All successor configuration indices under the distributed daemon (one
-  /// per non-empty subset of the enabled set). Successors may repeat.
-  void successors(const Config& config, const std::vector<std::size_t>& idx,
-                  const std::vector<int>& rules,
-                  std::vector<std::uint64_t>& out) const {
-    out.clear();
+  /// Computes the per-enabled-process configuration-code deltas into
+  /// s.deltas. Composite atomicity: every selected process reads the
+  /// pre-step configuration, so the post-state of each enabled process is
+  /// the same in every subset — it is applied once and each subset's
+  /// successor code is a pure integer sum of per-process code deltas (no
+  /// re-encoding per subset).
+  void compute_deltas(const Config& config,
+                      const std::vector<std::uint32_t>& digits,
+                      SweepScratch& s) const {
     const std::size_t n = config.size();
-    const std::size_t m = idx.size();
-    SSR_ASSERT(m < 20, "enabled set too large for subset enumeration");
-    Config next = config;
-    for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
-      // Composite atomicity: all selected read `config`, not `next`.
-      for (std::size_t k = 0; k < m; ++k) {
-        if (mask & (1u << k)) {
-          const std::size_t i = idx[k];
-          next[i] = protocol_.apply(i, rules[k], config[i],
-                                    config[stab::pred_index(i, n)],
-                                    config[stab::succ_index(i, n)]);
-        }
-      }
-      out.push_back(codec_.encode(next));
-      // Restore touched entries for the next mask.
-      for (std::size_t k = 0; k < m; ++k) {
-        if (mask & (1u << k)) next[idx[k]] = config[idx[k]];
-      }
+    const std::size_t m = s.idx.size();
+    SSR_ASSERT(m > 0 && m < 20, "enabled set size out of range");
+    s.deltas.clear();
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t i = s.idx[k];
+      const State next = protocol_.apply(i, s.rules[k], config[i],
+                                         config[stab::pred_index(i, n)],
+                                         config[stab::succ_index(i, n)]);
+      const std::int64_t delta =
+          static_cast<std::int64_t>(codec_.encode_digit(next)) -
+          static_cast<std::int64_t>(digits[i]);
+      s.deltas.push_back(delta * static_cast<std::int64_t>(codec_.weight(i)));
     }
+  }
+
+  /// Invokes fn(successor_code) for each of the 2^m - 1 daemon choices
+  /// (subset-sum enumeration over s.deltas; may repeat codes). Requires a
+  /// prior compute_deltas on the same configuration.
+  template <typename Fn>
+  void for_each_successor(std::uint64_t code, SweepScratch& s, Fn&& fn) const {
+    const std::size_t m = s.deltas.size();
+    const std::uint32_t subsets = 1u << m;
+    if (s.sums.size() < subsets) s.sums.resize(subsets);
+    s.sums[0] = 0;
+    for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+      s.sums[mask] = s.sums[mask & (mask - 1)] +
+                     s.deltas[static_cast<std::size_t>(std::countr_zero(mask))];
+      fn(static_cast<std::uint64_t>(static_cast<std::int64_t>(code) +
+                                    s.sums[mask]));
+    }
+  }
+
+  /// Distinct successor codes (sorted ascending) into s.succs, for the
+  /// configuration with code @p code and per-process digits @p digits,
+  /// whose enabled set (s.idx / s.rules) was already computed.
+  void successors_at(const Config& config,
+                     const std::vector<std::uint32_t>& digits,
+                     std::uint64_t code, SweepScratch& s) const {
+    compute_deltas(config, digits, s);
+    s.succs.clear();
+    for_each_successor(code, s,
+                       [&](std::uint64_t sc) { s.succs.push_back(sc); });
+    std::sort(s.succs.begin(), s.succs.end());
+    s.succs.erase(std::unique(s.succs.begin(), s.succs.end()), s.succs.end());
   }
 
   P protocol_;
@@ -249,148 +392,276 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
   CheckReport report;
   const std::uint64_t total = codec_.total();
   report.total_configs = total;
-  report.min_privileged_anywhere = SIZE_MAX;
 
-  std::vector<std::size_t> idx;
-  std::vector<int> rules;
-  std::vector<std::uint64_t> succs;
+  util::ThreadPool pool(options.threads);
+  const std::size_t workers = pool.size();
+  const std::uint64_t chunk = std::clamp<std::uint64_t>(
+      total / (workers * 8), 256, std::uint64_t{1} << 16);
 
-  // legit_flags doubles as the Lambda membership table for the convergence
-  // pass.
-  std::vector<std::uint8_t> legit_flags(total, 0);
+  // Per-worker partial results, merged deterministically afterwards. All
+  // merges are order-independent (min / sum), so dynamic chunk claiming
+  // cannot change the report.
+  struct Partial {
+    std::uint64_t legit_count = 0;
+    std::uint64_t deadlock = UINT64_MAX;  ///< lowest deadlocked config
+    std::uint64_t closure = UINT64_MAX;   ///< lowest closure violation
+    std::uint64_t token = UINT64_MAX;     ///< lowest token-bound violation
+    std::size_t min_priv = SIZE_MAX;
+    std::uint32_t max_height = 0;
+    std::uint64_t max_height_at = UINT64_MAX;
+  };
+  struct Worker {
+    ConfigOdometer<State> od;
+    SweepScratch s;
+    Partial p;
+    explicit Worker(const ConfigCodec<State>& codec) : od(codec) {}
+  };
+  std::vector<Worker> ws;
+  ws.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) ws.emplace_back(codec_);
 
-  for (std::uint64_t c = 0; c < total; ++c) {
-    const Config config = codec_.decode(c);
-    const bool legit = legit_(config);
-    legit_flags[c] = legit ? 1 : 0;
-    if (legit) ++report.legitimate_configs;
+  // ---- Phase A1: Lambda membership table. Shared across workers (each
+  // byte written by exactly one worker); the closure check and the
+  // convergence pass index into it instead of re-evaluating the predicate
+  // on decoded successors.
+  std::vector<std::uint8_t> legit_flags(total);
+  pool.for_chunks(0, total, chunk,
+                  [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+                    Worker& wk = ws[w];
+                    wk.od.seek(lo);
+                    std::uint64_t count = 0;
+                    for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+                      const bool legit = legit_(wk.od.config());
+                      legit_flags[c] = legit ? 1 : 0;
+                      count += legit ? 1 : 0;
+                    }
+                    wk.p.legit_count += count;
+                  });
 
-    enabled(config, idx, rules);
-    if (options.check_deadlock && idx.empty() && report.deadlock_free) {
-      report.deadlock_free = false;
-      report.deadlock_witness = c;
-    }
-
-    const std::size_t priv = privileged_(config);
-    report.min_privileged_anywhere =
-        std::min(report.min_privileged_anywhere, priv);
-
-    if (legit && options.check_token_bounds && report.token_bounds_hold) {
-      if (priv < options.min_privileged || priv > options.max_privileged) {
-        report.token_bounds_hold = false;
-        report.token_witness = c;
+  // ---- Phase A2: deadlock / token-bound / closure sweep.
+  pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                       std::uint64_t hi) {
+    Worker& wk = ws[w];
+    SweepScratch& s = wk.s;
+    Partial& p = wk.p;
+    wk.od.seek(lo);
+    for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+      const Config& config = wk.od.config();
+      enabled(config, s.idx, s.rules);
+      if (options.check_deadlock && s.idx.empty() && c < p.deadlock) {
+        p.deadlock = c;
       }
-    }
-
-    if (legit && options.check_closure && report.closure_holds &&
-        !idx.empty()) {
-      successors(config, idx, rules, succs);
-      for (std::uint64_t s : succs) {
-        if (!legit_(codec_.decode(s))) {
-          report.closure_holds = false;
-          report.closure_witness = c;
-          break;
+      const std::size_t priv = privileged_(config);
+      p.min_priv = std::min(p.min_priv, priv);
+      if (!legit_flags[c]) continue;
+      if (options.check_token_bounds && c < p.token &&
+          (priv < options.min_privileged || priv > options.max_privileged)) {
+        p.token = c;
+      }
+      if (options.check_closure && c < p.closure && !s.idx.empty()) {
+        successors_at(config, wk.od.digits(), c, s);
+        for (std::uint64_t sc : s.succs) {
+          if (!legit_flags[sc]) {
+            p.closure = c;
+            break;
+          }
         }
       }
     }
+  });
+
+  {
+    std::uint64_t deadlock = UINT64_MAX, closure = UINT64_MAX,
+                  token = UINT64_MAX;
+    std::size_t min_priv = SIZE_MAX;
+    for (const Worker& wk : ws) {
+      report.legitimate_configs += wk.p.legit_count;
+      deadlock = std::min(deadlock, wk.p.deadlock);
+      closure = std::min(closure, wk.p.closure);
+      token = std::min(token, wk.p.token);
+      min_priv = std::min(min_priv, wk.p.min_priv);
+    }
+    if (deadlock != UINT64_MAX) {
+      report.deadlock_free = false;
+      report.deadlock_witness = deadlock;
+    }
+    if (closure != UINT64_MAX) {
+      report.closure_holds = false;
+      report.closure_witness = closure;
+    }
+    if (token != UINT64_MAX) {
+      report.token_bounds_hold = false;
+      report.token_witness = token;
+    }
+    report.min_privileged_anywhere = min_priv == SIZE_MAX ? 0 : min_priv;
   }
-  if (report.min_privileged_anywhere == SIZE_MAX)
-    report.min_privileged_anywhere = 0;
 
   if (!options.check_convergence) return report;
 
-  // Convergence: every infinite execution reaches Lambda iff the directed
-  // graph restricted to illegitimate configurations is acyclic. While
-  // checking, compute height(c) = max steps to Lambda under the worst
-  // daemon (legitimate configs have height 0; edges into Lambda count 1).
-  // Iterative DFS with tri-coloring; heights memoized in `height`.
-  constexpr std::uint8_t kWhite = 0, kGray = 1, kBlack = 2;
-  std::vector<std::uint8_t> color(total, kWhite);
+  // ---- Phase B: convergence by reverse induction from Lambda.
+  //
+  // height(c) = 0 on Lambda, height(c) = 1 + max over successors height(c')
+  // elsewhere. Build the *reverse* adjacency (predecessor CSR) of the step
+  // graph once, then peel Kahn-style in level-synchronous rounds from the
+  // height-0 layer: finalizing a config decrements each predecessor's
+  // pending-successor count, and a predecessor whose count reaches zero
+  // joins the next round. A config's height is exactly the round that
+  // finalizes it — its max-height successor (height r-1, by induction
+  // finalized in round r-1) is the last one to finalize — so no forward
+  // adjacency is ever stored or scanned. Every edge is touched O(1) times.
+  // If the frontier drains while configs remain, each remaining config can
+  // step to another remaining config forever — an illegitimate cycle is
+  // reachable and convergence fails. The height fixpoint is unique, so
+  // reports are identical at every thread count.
+  SSR_REQUIRE(total <= (std::uint64_t{1} << 32),
+              "convergence pass supports at most 2^32 configurations");
+
+  // Pass 1: out-degrees (pending) and in-degrees (rcount). Successors are
+  // enumerated but not stored — the only per-edge state is a predecessor
+  // count bump. Repeated successor codes (possible only for
+  // state-preserving rules) are kept on both sides, so the Kahn counts
+  // stay consistent and heights are unaffected.
+  // With a single worker the shared counters have exactly one writer, so
+  // the lock-prefixed RMWs (the dominant per-edge cost) degrade to plain
+  // arithmetic. Both flavours are exercised by the differential tests.
+  const bool solo = workers == 1;
+
+  std::vector<std::uint32_t> pending(total, 0);  ///< unfinalized successors
+  std::vector<std::uint32_t> rcount(total, 0);   ///< predecessor counts
+  pool.for_chunks(
+      0, total, chunk, [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        Worker& wk = ws[w];
+        wk.od.seek(lo);
+        for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+          if (legit_flags[c]) continue;
+          enabled(wk.od.config(), wk.s.idx, wk.s.rules);
+          if (wk.s.idx.empty()) continue;  // deadlocked: height 0
+          pending[c] =
+              static_cast<std::uint32_t>((std::uint64_t{1} << wk.s.idx.size()) - 1);
+          compute_deltas(wk.od.config(), wk.od.digits(), wk.s);
+          for_each_successor(c, wk.s, [&](std::uint64_t sc) {
+            if (solo) {
+              ++rcount[sc];
+            } else {
+              std::atomic_ref<std::uint32_t>(rcount[sc])
+                  .fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        }
+      });
+
+  std::vector<std::uint64_t> roffsets(total + 1, 0);
+  for (std::uint64_t c = 0; c < total; ++c) {
+    roffsets[c + 1] = roffsets[c] + rcount[c];
+  }
+
+  // Pass 2: re-enumerate and scatter predecessors into the CSR. rcount
+  // doubles as the per-target fill cursor (counted back down to zero).
+  // Predecessors land in arbitrary order within a slice, which only
+  // affects decrement order, never counts or heights.
+  std::vector<std::uint32_t> redges(roffsets[total]);
+  pool.for_chunks(
+      0, total, chunk, [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+        Worker& wk = ws[w];
+        wk.od.seek(lo);
+        for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+          if (pending[c] == 0) continue;
+          enabled(wk.od.config(), wk.s.idx, wk.s.rules);
+          compute_deltas(wk.od.config(), wk.od.digits(), wk.s);
+          for_each_successor(c, wk.s, [&](std::uint64_t sc) {
+            const std::uint32_t slot =
+                solo ? rcount[sc]--
+                     : std::atomic_ref<std::uint32_t>(rcount[sc])
+                           .fetch_sub(1, std::memory_order_relaxed);
+            redges[roffsets[sc] + slot - 1] = static_cast<std::uint32_t>(c);
+          });
+        }
+      });
+
   std::vector<std::uint32_t> height(total, 0);
-
-  struct Frame {
-    std::uint64_t node;
-    std::vector<std::uint64_t> succ;
-    std::size_t next = 0;
-    std::uint32_t best = 0;
-  };
-  std::vector<Frame> stack;
-
-  for (std::uint64_t root = 0; root < total; ++root) {
-    if (legit_flags[root] || color[root] != kWhite) continue;
-    if (!report.convergence_holds) break;
-
-    stack.clear();
-    color[root] = kGray;
-    {
-      Frame f;
-      f.node = root;
-      const Config config = codec_.decode(root);
-      enabled(config, idx, rules);
-      if (idx.empty()) {
-        // Deadlocked illegitimate config: convergence fails (no execution
-        // continues, so Lambda is never reached). Reported via
-        // deadlock_free; treat as height 0 here.
-        color[root] = kBlack;
-        continue;
-      }
-      successors(config, idx, rules, f.succ);
-      stack.push_back(std::move(f));
-    }
-
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      if (f.next < f.succ.size()) {
-        const std::uint64_t s = f.succ[f.next++];
-        if (legit_flags[s]) {
-          f.best = std::max(f.best, 1u);
-          continue;
-        }
-        if (color[s] == kGray) {
-          report.convergence_holds = false;
-          report.cycle_witness = s;
-          break;
-        }
-        if (color[s] == kBlack) {
-          f.best = std::max(f.best, height[s] + 1);
-          continue;
-        }
-        // White illegitimate successor: descend.
-        color[s] = kGray;
-        Frame child;
-        child.node = s;
-        const Config config = codec_.decode(s);
-        enabled(config, idx, rules);
-        SSR_ASSERT(!idx.empty() || !report.deadlock_free,
-                   "unexpected deadlock during convergence pass");
-        if (!idx.empty()) {
-          successors(config, idx, rules, child.succ);
-          stack.push_back(std::move(child));
-        } else {
-          color[s] = kBlack;
-        }
-        continue;
-      }
-      // All successors processed: finalize.
-      color[f.node] = kBlack;
-      height[f.node] = f.best;
-      if (f.best > report.worst_case_steps) {
-        report.worst_case_steps = f.best;
-        report.worst_case_witness = f.node;
-      }
-      const std::uint32_t done_height = f.best;
-      const std::uint64_t done_node = f.node;
-      stack.pop_back();
-      if (!stack.empty()) {
-        Frame& parent = stack.back();
-        (void)done_node;
-        parent.best = std::max(parent.best, done_height + 1);
-      }
+  // pending is 0 for Lambda and for deadlocked illegitimate configs
+  // (height 0; the latter are already reported through deadlock_free).
+  // Those zero-pending configs form the initial, round-0 frontier.
+  std::vector<std::uint32_t> frontier;
+  std::uint64_t finalized = 0;
+  for (std::uint64_t c = 0; c < total; ++c) {
+    if (pending[c] == 0) {
+      frontier.push_back(static_cast<std::uint32_t>(c));
+      ++finalized;
     }
   }
 
-  if (options.keep_heights && report.convergence_holds) {
-    report.heights = std::move(height);
+  std::vector<std::vector<std::uint32_t>> next_frontiers(workers);
+  for (std::uint32_t round = 1; !frontier.empty(); ++round) {
+    const std::uint64_t fr_chunk = std::clamp<std::uint64_t>(
+        frontier.size() / (workers * 8), 64, std::uint64_t{1} << 14);
+    pool.for_chunks(0, frontier.size(), fr_chunk, [&](std::size_t w,
+                                                      std::uint64_t lo,
+                                                      std::uint64_t hi) {
+      std::vector<std::uint32_t>& next = next_frontiers[w];
+      for (std::uint64_t t = lo; t < hi; ++t) {
+        const std::uint32_t f = frontier[t];
+        for (std::uint64_t e = roffsets[f]; e < roffsets[f + 1]; ++e) {
+          const std::uint32_t p = redges[e];
+          const std::uint32_t left =
+              solo ? --pending[p]
+                   : std::atomic_ref<std::uint32_t>(pending[p])
+                             .fetch_sub(1, std::memory_order_relaxed) -
+                         1;
+          if (left != 0) continue;
+          // Last successor of p finalized, in the previous round, at
+          // height round - 1 — so p's height is exactly this round.
+          height[p] = round;
+          next.push_back(p);
+        }
+      }
+    });
+    frontier.clear();
+    for (std::vector<std::uint32_t>& next : next_frontiers) {
+      frontier.insert(frontier.end(), next.begin(), next.end());
+      finalized += next.size();
+      next.clear();
+    }
+  }
+
+  if (finalized != total) {
+    // Frontier drained with configs left: every remaining config keeps an
+    // unfinalized successor, so from any of them the daemon can stay
+    // illegitimate forever.
+    report.convergence_holds = false;
+    std::uint64_t lowest = UINT64_MAX;
+    for (std::uint64_t c = 0; c < total && lowest == UINT64_MAX; ++c) {
+      if (pending[c] != 0) lowest = c;
+    }
+    report.cycle_witness = lowest;
+  }
+
+  if (report.convergence_holds) {
+    pool.for_chunks(0, total, chunk,
+                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+                      Partial& p = ws[w].p;
+                      for (std::uint64_t c = lo; c < hi; ++c) {
+                        const std::uint32_t h = height[c];
+                        if (h == 0) continue;
+                        if (h > p.max_height ||
+                            (h == p.max_height && c < p.max_height_at)) {
+                          p.max_height = h;
+                          p.max_height_at = c;
+                        }
+                      }
+                    });
+    std::uint32_t worst = 0;
+    std::uint64_t worst_at = UINT64_MAX;
+    for (const Worker& wk : ws) {
+      if (wk.p.max_height > worst ||
+          (wk.p.max_height == worst && wk.p.max_height_at < worst_at)) {
+        worst = wk.p.max_height;
+        worst_at = wk.p.max_height_at;
+      }
+    }
+    report.worst_case_steps = worst;
+    if (worst > 0) report.worst_case_witness = worst_at;
+    if (options.keep_heights) report.heights = std::move(height);
   }
 
   return report;

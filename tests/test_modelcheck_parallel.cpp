@@ -1,0 +1,149 @@
+// The parallel checker's contract: CheckReport is bit-identical at every
+// thread count — same witnesses, same worst case, same height table. The
+// differential tests below pin that by running every covered (n, K) at 1,
+// 2 and 8 workers (1 exercises the solo fast path, the others the shared
+// atomic counters), plus unit tests for the underlying ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "verify/checkers.hpp"
+
+namespace {
+
+using namespace ssr;
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  util::ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 1u);
+  util::ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+  util::ThreadPool hw(0);
+  EXPECT_GE(hw.size(), 1u);
+}
+
+TEST(ThreadPool, RunOnAllVisitsEveryWorkerOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(pool.size());
+  pool.run_on_all([&](std::size_t id) { ++visits[id]; });
+  for (std::size_t id = 0; id < pool.size(); ++id) {
+    EXPECT_EQ(visits[id].load(), 1) << "worker " << id;
+  }
+}
+
+TEST(ThreadPool, ForChunksCoversRangeExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    util::ThreadPool pool(threads);
+    constexpr std::uint64_t kBegin = 7, kEnd = 1234;
+    std::vector<std::atomic<int>> hits(kEnd);
+    pool.for_chunks(kBegin, kEnd, 17,
+                    [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                      ASSERT_LE(lo, hi);
+                      ASSERT_LE(hi, kEnd);
+                      for (std::uint64_t i = lo; i < hi; ++i) ++hits[i];
+                    });
+    for (std::uint64_t i = 0; i < kEnd; ++i) {
+      EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ForChunksEmptyRangeIsNoop) {
+  util::ThreadPool pool(2);
+  bool called = false;
+  pool.for_chunks(5, 5, 8, [&](std::size_t, std::uint64_t, std::uint64_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    EXPECT_THROW(pool.run_on_all([&](std::size_t) {
+      throw std::runtime_error("boom");
+    }),
+                 std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::uint64_t> sum{0};
+    pool.for_chunks(0, 100, 9,
+                    [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                      for (std::uint64_t i = lo; i < hi; ++i) sum += i;
+                    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+// --- differential report tests --------------------------------------------
+
+void expect_identical(const verify::CheckReport& a,
+                      const verify::CheckReport& b, const char* what) {
+  EXPECT_EQ(a.total_configs, b.total_configs) << what;
+  EXPECT_EQ(a.legitimate_configs, b.legitimate_configs) << what;
+  EXPECT_EQ(a.deadlock_free, b.deadlock_free) << what;
+  EXPECT_EQ(a.deadlock_witness, b.deadlock_witness) << what;
+  EXPECT_EQ(a.closure_holds, b.closure_holds) << what;
+  EXPECT_EQ(a.closure_witness, b.closure_witness) << what;
+  EXPECT_EQ(a.token_bounds_hold, b.token_bounds_hold) << what;
+  EXPECT_EQ(a.token_witness, b.token_witness) << what;
+  EXPECT_EQ(a.convergence_holds, b.convergence_holds) << what;
+  EXPECT_EQ(a.cycle_witness, b.cycle_witness) << what;
+  EXPECT_EQ(a.worst_case_steps, b.worst_case_steps) << what;
+  EXPECT_EQ(a.worst_case_witness, b.worst_case_witness) << what;
+  EXPECT_EQ(a.min_privileged_anywhere, b.min_privileged_anywhere) << what;
+  EXPECT_EQ(a.heights, b.heights) << what;
+}
+
+template <typename Checker>
+void check_thread_invariance(const Checker& checker,
+                             verify::CheckOptions options, const char* what) {
+  options.keep_heights = true;
+  options.threads = 1;
+  const verify::CheckReport sequential = checker.run(options);
+  EXPECT_TRUE(sequential.all_ok()) << what;
+  EXPECT_FALSE(sequential.heights.empty()) << what;
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    expect_identical(sequential, checker.run(options), what);
+  }
+}
+
+TEST(ModelCheckParallel, SsrMinReportsAreThreadCountInvariant) {
+  verify::CheckOptions options;  // defaults: privileged in [1, 2]
+  check_thread_invariance(verify::make_ssrmin_checker(3, 4), options,
+                          "ssrmin(3,4)");
+  check_thread_invariance(verify::make_ssrmin_checker(3, 6), options,
+                          "ssrmin(3,6)");
+  check_thread_invariance(verify::make_ssrmin_checker(4, 5), options,
+                          "ssrmin(4,5)");
+}
+
+TEST(ModelCheckParallel, DijkstraReportsAreThreadCountInvariant) {
+  verify::CheckOptions options;
+  options.min_privileged = 1;
+  options.max_privileged = 1;
+  check_thread_invariance(verify::make_kstate_checker(3, 4), options,
+                          "dijkstra(3,4)");
+  check_thread_invariance(verify::make_kstate_checker(4, 5), options,
+                          "dijkstra(4,5)");
+  check_thread_invariance(verify::make_kstate_checker(5, 6), options,
+                          "dijkstra(5,6)");
+}
+
+TEST(ModelCheckParallel, DefaultThreadsMatchesSequential) {
+  const auto checker = verify::make_ssrmin_checker(3, 5);
+  verify::CheckOptions options;
+  options.keep_heights = true;
+  options.threads = 1;
+  const verify::CheckReport sequential = checker.run(options);
+  options.threads = 0;  // one worker per hardware thread
+  expect_identical(sequential, checker.run(options), "ssrmin(3,5) hw");
+}
+
+}  // namespace

@@ -7,8 +7,10 @@
 //   ssring converge  [--n N] [--trials T] [--daemon D] [--seed X]
 //       Convergence-step statistics from random initial configurations.
 //
-//   ssring check     [--n N] [--k K]
-//       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst case.
+//   ssring check     [--n N] [--k K] [--threads T]
+//       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst
+//       case. T = 0 (default) uses one worker per hardware thread; the
+//       report is identical at every thread count.
 //
 //   ssring modelgap  [--n N] [--delay D] [--duration T] [--seed X]
 //       Token availability of ssrmin vs dijkstra vs 2x dijkstra under CST.
@@ -152,11 +154,14 @@ int cmd_converge(int argc, char** argv) {
 int cmd_check(int argc, char** argv) {
   const std::size_t n = arg_n(argc, argv, "3");
   const std::uint32_t K = arg_k(argc, argv, n);
+  verify::CheckOptions options;
+  options.threads = static_cast<std::size_t>(
+      std::atoi(value_of(argc, argv, "--threads", "0")));
   auto checker = verify::make_ssrmin_checker(n, K);
   std::cout << "checking all " << checker.codec().total()
             << " configurations of SSRmin(n=" << n << ", K=" << K
             << ") under the full distributed daemon...\n";
-  const auto report = checker.run();
+  const auto report = checker.run(options);
   std::cout << report.summary() << '\n';
   return report.all_ok() ? 0 : 1;
 }
@@ -381,7 +386,7 @@ void usage() {
          "commands:\n"
          "  trace      print a Figure-4-style execution table\n"
          "  converge   convergence statistics from random starts\n"
-         "  check      exhaustive model check (small n)\n"
+         "  check      exhaustive model check (small n; --threads T)\n"
          "  modelgap   token availability under message passing\n"
          "  timeline   ASCII token timeline (Figures 11-13)\n"
          "  camera     camera-network policy comparison\n"
