@@ -18,6 +18,22 @@ inline bool full_mode() {
   return v != nullptr && std::string(v) == "1";
 }
 
+/// Worker count for the trial-sweep benches: `--threads N` on the command
+/// line wins, then the SSRING_BENCH_THREADS environment variable, then 0
+/// (= one worker per hardware thread). The emitted statistics are
+/// bit-identical at every worker count (sim::TrialSweep's contract);
+/// threads only change wall time.
+inline std::size_t thread_count(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("SSRING_BENCH_THREADS");
+  if (value == nullptr) return 0;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
+}
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_artifact,
                          const std::string& claim) {

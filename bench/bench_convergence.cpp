@@ -3,12 +3,23 @@
 // and for the embedded Dijkstra ring. The table reports steps-to-Lambda
 // statistics and the n^2-normalized cost, whose flatness across n is the
 // quadratic-order evidence.
+//
+// Trials are independent and fan out over sim::TrialSweep (--threads N /
+// SSRING_BENCH_THREADS; default: all hardware threads). Each trial's RNG
+// stream is derived from (row seed, trial index), so every statistical
+// cell is bit-identical at any worker count; only wall time changes. The
+// run always writes BENCH_convergence.json (rows: table, daemon, n,
+// trials, threads, wall_ms) so successive PRs can track the combined
+// incremental-engine + parallel-sweep speedup on the same rows.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/legitimacy.hpp"
 #include "core/ssrmin.hpp"
 #include "dijkstra/kstate.hpp"
+#include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
 #include "util/stats.hpp"
@@ -18,14 +29,21 @@ namespace {
 
 using namespace ssr;
 
-struct Row {
-  SampleSet steps;
-  SampleSet dijkstra_part_steps;
+struct TrialResult {
+  bool converged = false;
+  double dijkstra_part_steps = 0.0;
+  double total_steps = 0.0;
 };
+
+std::int64_t elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "E4/E6: convergence time vs ring size",
       "Lemmas 6-8, Theorem 2",
@@ -40,49 +58,73 @@ int main() {
       "central-random", "distributed-synchronous",
       "distributed-random-subset", "adversary-max-index"};
 
+  sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
+  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
+
   TextTable table({"daemon", "n", "trials", "mean steps", "p95 steps",
                    "max steps", "mean/n^2", "dijkstra-part mean",
                    "all converged"});
+  TextTable trajectory({"table", "daemon", "n", "trials", "threads",
+                        "wall_ms"});
 
   for (const auto& daemon_name : daemons) {
     for (std::size_t n : sizes) {
       const auto K = static_cast<std::uint32_t>(n + 1);
       const core::SsrMinRing ring(n, K);
-      Row row;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = sweep.run_trials(
+          1234 + n, static_cast<std::uint64_t>(trials),
+          [&](std::uint64_t, Rng& rng) {
+            stab::Engine<core::SsrMinRing> engine(
+                ring, core::random_config(ring, rng));
+            auto daemon = stab::make_daemon(daemon_name, rng.split());
+            // First milestone: the Dijkstra sub-ring is legitimate
+            // (Lemma 8).
+            auto dij = [&ring](const core::SsrConfig& c) {
+              return core::dijkstra_part_legitimate(ring, c);
+            };
+            const std::uint64_t budget = 80ULL * n * n + 400;
+            const auto r1 = stab::run_until(engine, *daemon, dij, budget);
+            // Then full legitimacy (Lemma 7).
+            auto legit = [&ring](const core::SsrConfig& c) {
+              return core::is_legitimate(ring, c);
+            };
+            const auto r2 = stab::run_until(engine, *daemon, legit, budget);
+            TrialResult out;
+            out.converged = r1.reached && r2.reached;
+            out.dijkstra_part_steps = static_cast<double>(r1.steps);
+            out.total_steps = static_cast<double>(r1.steps + r2.steps);
+            return out;
+          });
+      const auto ms = elapsed_ms(t0);
+      SampleSet steps;
+      SampleSet dijkstra_part_steps;
       bool all_ok = true;
-      Rng rng(1234 + n);
-      for (int trial = 0; trial < trials; ++trial) {
-        stab::Engine<core::SsrMinRing> engine(ring,
-                                              core::random_config(ring, rng));
-        auto daemon = stab::make_daemon(daemon_name, rng.split());
-        // First milestone: the Dijkstra sub-ring is legitimate (Lemma 8).
-        auto dij = [&ring](const core::SsrConfig& c) {
-          return core::dijkstra_part_legitimate(ring, c);
-        };
-        const std::uint64_t budget = 80ULL * n * n + 400;
-        const auto r1 = stab::run_until(engine, *daemon, dij, budget);
-        // Then full legitimacy (Lemma 7).
-        auto legit = [&ring](const core::SsrConfig& c) {
-          return core::is_legitimate(ring, c);
-        };
-        const auto r2 = stab::run_until(engine, *daemon, legit, budget);
-        if (!r1.reached || !r2.reached) {
+      for (const TrialResult& r : results) {
+        if (!r.converged) {
           all_ok = false;
           continue;
         }
-        row.dijkstra_part_steps.add(static_cast<double>(r1.steps));
-        row.steps.add(static_cast<double>(r1.steps + r2.steps));
+        dijkstra_part_steps.add(r.dijkstra_part_steps);
+        steps.add(r.total_steps);
       }
       table.row()
           .cell(daemon_name)
           .cell(n)
           .cell(trials)
-          .cell(row.steps.mean(), 1)
-          .cell(row.steps.percentile(95), 1)
-          .cell(row.steps.max(), 0)
-          .cell(row.steps.mean() / (static_cast<double>(n) * n), 3)
-          .cell(row.dijkstra_part_steps.mean(), 1)
+          .cell(steps.mean(), 1)
+          .cell(steps.percentile(95), 1)
+          .cell(steps.max(), 0)
+          .cell(steps.mean() / (static_cast<double>(n) * n), 3)
+          .cell(dijkstra_part_steps.mean(), 1)
           .cell(all_ok);
+      trajectory.row()
+          .cell("convergence")
+          .cell(daemon_name)
+          .cell(n)
+          .cell(trials)
+          .cell(sweep.threads())
+          .cell(ms);
     }
   }
   std::cout << table.render() << '\n';
@@ -94,18 +136,25 @@ int main() {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const dijkstra::KStateRing ring(n, K);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = sweep.run_trials(
+        777 + n, static_cast<std::uint64_t>(trials),
+        [&](std::uint64_t, Rng& rng) {
+          stab::Engine<dijkstra::KStateRing> engine(
+              ring, dijkstra::random_config(ring, rng));
+          stab::CentralRandomDaemon daemon{rng.split()};
+          auto legit = [&ring](const dijkstra::KStateConfig& c) {
+            return dijkstra::is_legitimate(ring, c);
+          };
+          const auto r = stab::run_until(
+              engine, daemon, legit,
+              8 * dijkstra::convergence_step_bound(n));
+          return r.reached ? static_cast<double>(r.steps) : -1.0;
+        });
+    const auto ms = elapsed_ms(t0);
     SampleSet steps;
-    Rng rng(777 + n);
-    for (int trial = 0; trial < trials; ++trial) {
-      stab::Engine<dijkstra::KStateRing> engine(
-          ring, dijkstra::random_config(ring, rng));
-      stab::CentralRandomDaemon daemon{rng.split()};
-      auto legit = [&ring](const dijkstra::KStateConfig& c) {
-        return dijkstra::is_legitimate(ring, c);
-      };
-      const auto r = stab::run_until(engine, daemon, legit,
-                                     8 * dijkstra::convergence_step_bound(n));
-      if (r.reached) steps.add(static_cast<double>(r.steps));
+    for (double s : results) {
+      if (s >= 0.0) steps.add(s);
     }
     const auto bound = dijkstra::convergence_step_bound(n);
     base.row()
@@ -117,9 +166,21 @@ int main() {
         // The strict Definition-form target may cost up to one extra
         // circulation over the "exactly one token" bound.
         .cell(steps.max() <= static_cast<double>(bound + 2 * n));
+    trajectory.row()
+        .cell("dijkstra_baseline")
+        .cell("central-random")
+        .cell(n)
+        .cell(trials)
+        .cell(sweep.threads())
+        .cell(ms);
   }
   std::cout << base.render() << '\n';
   bench::maybe_export(base, "convergence_dijkstra_baseline");
+  {
+    std::ofstream json("BENCH_convergence.json");
+    json << trajectory.to_json(2) << '\n';
+  }
+  std::cout << "(wrote BENCH_convergence.json)\n";
   std::cout << "paper expectation: mean/n^2 stays roughly flat as n grows "
                "(Theorem 2's O(n^2)); the Dijkstra sub-ring converges "
                "before full legitimacy (Lemma 8 then Lemma 7).\n";

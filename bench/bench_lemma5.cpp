@@ -2,17 +2,48 @@
 // move is at most 3n steps. An adversarial daemon starves Rules 2/4 as
 // long as anything else is enabled; we record the longest rule-2/4-free
 // stretch it ever achieves and compare against the 3n bound.
+//
+// Trials fan out over sim::TrialSweep (--threads / SSRING_BENCH_THREADS)
+// with per-trial (seed, index) RNG streams; the per-trial maxima and move
+// counters merge with max/sum, so the tables are bit-identical at any
+// worker count. The inner loop drives the engine through its cached
+// enabled view (enabled_count/enabled_view) — no per-step rescans, no
+// per-step copies.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
 #include "core/ssrmin.hpp"
+#include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace ssr;
+namespace {
+
+using namespace ssr;
+
+struct StretchResult {
+  std::uint64_t longest_gap = 0;
+  std::uint64_t forced_steps = 0;
+};
+
+struct MixResult {
+  std::uint64_t moves135 = 0;
+  std::uint64_t moves24 = 0;
+};
+
+constexpr int kStepsPerTrial = 3000;
+
+bool is_rule24(int rule) {
+  return rule == core::SsrMinRing::kRuleSendPrimary ||
+         rule == core::SsrMinRing::kRuleFixGuardTrue;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   bench::print_header(
       "E5: Rule-2/4-free execution length", "Lemma 5",
       "no schedule can avoid Rules 2 and 4 for more than 3n consecutive "
@@ -22,7 +53,9 @@ int main() {
       bench::full_mode() ? std::vector<std::size_t>{3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
                          : std::vector<std::size_t>{3, 4, 6, 8, 12, 16, 24, 32};
   const int trials = bench::full_mode() ? 40 : 15;
-  const int steps_per_trial = 3000;
+
+  sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
+  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
 
   TextTable table({"n", "trials", "longest 2/4-free stretch", "bound 3n",
                    "within bound", "forced 2/4 moves"});
@@ -30,39 +63,38 @@ int main() {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const core::SsrMinRing ring(n, K);
-    Rng rng(4242 + n);
+    const auto results = sweep.run_trials(
+        4242 + n, static_cast<std::uint64_t>(trials),
+        [&](std::uint64_t, Rng& rng) {
+          stab::Engine<core::SsrMinRing> engine(
+              ring, core::random_config(ring, rng));
+          stab::RuleAvoidingDaemon daemon{
+              rng.split(),
+              {core::SsrMinRing::kRuleSendPrimary,
+               core::SsrMinRing::kRuleFixGuardTrue}};
+          StretchResult out;
+          std::uint64_t gap = 0;
+          for (int t = 0; t < kStepsPerTrial; ++t) {
+            if (engine.enabled_count() == 0) break;  // never (Lemma 4)
+            const auto selected = daemon.select(engine.enabled_view());
+            const auto& executed = engine.step(selected);
+            const bool moved24 =
+                std::any_of(executed.begin(), executed.end(), is_rule24);
+            if (moved24) {
+              gap = 0;
+            } else {
+              ++gap;
+              out.longest_gap = std::max(out.longest_gap, gap);
+            }
+          }
+          out.forced_steps = daemon.forced_steps();
+          return out;
+        });
     std::uint64_t longest = 0;
     std::uint64_t forced_total = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      stab::Engine<core::SsrMinRing> engine(ring,
-                                            core::random_config(ring, rng));
-      stab::RuleAvoidingDaemon daemon{
-          rng.split(),
-          {core::SsrMinRing::kRuleSendPrimary,
-           core::SsrMinRing::kRuleFixGuardTrue}};
-      std::uint64_t gap = 0;
-      std::vector<std::size_t> idx;
-      std::vector<int> rules;
-      for (int t = 0; t < steps_per_trial; ++t) {
-        engine.enabled(idx, rules);
-        if (idx.empty()) break;  // never happens (Lemma 4)
-        const stab::EnabledView view{idx, rules, n};
-        const auto selected = daemon.select(view);
-        const auto executed = engine.step(selected);
-        bool moved24 = false;
-        for (int r : executed) {
-          if (r == core::SsrMinRing::kRuleSendPrimary ||
-              r == core::SsrMinRing::kRuleFixGuardTrue)
-            moved24 = true;
-        }
-        if (moved24) {
-          gap = 0;
-        } else {
-          ++gap;
-          longest = std::max(longest, gap);
-        }
-      }
-      forced_total += daemon.forced_steps();
+    for (const StretchResult& r : results) {
+      longest = std::max(longest, r.longest_gap);
+      forced_total += r.forced_steps;
     }
     table.row()
         .cell(n)
@@ -89,32 +121,34 @@ int main() {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const core::SsrMinRing ring(n, K);
-    Rng rng(9100 + n);
+    const auto results = sweep.run_trials(
+        9100 + n, static_cast<std::uint64_t>(trials),
+        [&](std::uint64_t, Rng& rng) {
+          stab::Engine<core::SsrMinRing> engine(
+              ring, core::random_config(ring, rng));
+          stab::RuleAvoidingDaemon daemon{
+              rng.split(),
+              {core::SsrMinRing::kRuleSendPrimary,
+               core::SsrMinRing::kRuleFixGuardTrue}};
+          MixResult out;
+          for (int t = 0; t < kStepsPerTrial; ++t) {
+            if (engine.enabled_count() == 0) break;
+            const auto selected = daemon.select(engine.enabled_view());
+            for (int r : engine.step(selected)) {
+              if (is_rule24(r)) {
+                ++out.moves24;
+              } else {
+                ++out.moves135;
+              }
+            }
+          }
+          return out;
+        });
     std::uint64_t moves135 = 0;
     std::uint64_t moves24 = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      stab::Engine<core::SsrMinRing> engine(ring,
-                                            core::random_config(ring, rng));
-      stab::RuleAvoidingDaemon daemon{
-          rng.split(),
-          {core::SsrMinRing::kRuleSendPrimary,
-           core::SsrMinRing::kRuleFixGuardTrue}};
-      std::vector<std::size_t> idx;
-      std::vector<int> rules;
-      for (int t = 0; t < steps_per_trial; ++t) {
-        engine.enabled(idx, rules);
-        if (idx.empty()) break;
-        const stab::EnabledView view{idx, rules, n};
-        const auto executed = engine.step(daemon.select(view));
-        for (int r : executed) {
-          if (r == core::SsrMinRing::kRuleSendPrimary ||
-              r == core::SsrMinRing::kRuleFixGuardTrue) {
-            ++moves24;
-          } else {
-            ++moves135;
-          }
-        }
-      }
+    for (const MixResult& r : results) {
+      moves135 += r.moves135;
+      moves24 += r.moves24;
     }
     mix.row()
         .cell(n)

@@ -12,14 +12,20 @@
 // bounded variance on the smallest ring already shows rare windows, an
 // exponential tail shows them at a measurable rate, and growing the ring
 // (longer laps) suppresses the effect exponentially.
+//
+// Each (n, scenario) cell is one long event-driven simulation with its
+// own fixed seed; the cells fan out as units over sim::TrialSweep
+// (--threads / SSRING_BENCH_THREADS) and return in cell order, so the
+// table is bit-identical at any worker count.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/legitimacy.hpp"
 #include "msgpass/factories.hpp"
+#include "sim/sweep.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
   bench::print_header(
       "E22: delay-variance stress on the graceful handover",
@@ -45,42 +51,58 @@ int main() {
       {"exponential tail", 0.05, 3.05,
        msgpass::DelayModel::kExponentialTail},
   };
-  for (std::size_t n : {3u, 5u, 8u}) {
-    for (const Scenario& sc : scenarios) {
-      core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
-      msgpass::NetworkParams p;
-      p.delay_min = sc.delay_min;
-      p.delay_max = sc.delay_max;
-      p.delay_model = sc.model;
-      p.service_min = 0.05;
-      p.service_max = 0.1;
-      p.refresh_interval = 40.0;
-      p.seed = 11;
-      auto sim = msgpass::make_ssrmin_cst(
-          ring, core::canonical_legitimate(ring, 0), p);
-      const msgpass::CoverageStats s = sim.run(duration);
-      const double mean_gap =
-          s.zero_intervals > 0
-              ? s.zero_token_time / static_cast<double>(s.zero_intervals)
-              : 0.0;
-      table.row()
-          .cell(sc.name)
-          .cell(n)
-          .cell(p.delay_min +
-                    (p.delay_max - p.delay_min) *
-                        (sc.model == msgpass::DelayModel::kUniform ? 0.5
-                                                                   : 1.0),
-                2)
-          .cell(100.0 * s.coverage(), 4)
-          .cell(s.zero_intervals)
-          .cell(mean_gap, 2)
-          .cell(s.handovers > 0
-                    ? 1000.0 * static_cast<double>(s.zero_intervals) /
-                          static_cast<double>(s.handovers)
-                    : 0.0,
-                3)
-          .cell(s.handovers);
-    }
+  const std::size_t ns[] = {3, 5, 8};
+  struct Cell {
+    std::size_t n;
+    const Scenario* scenario;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n : ns) {
+    for (const Scenario& sc : scenarios) cells.push_back({n, &sc});
+  }
+
+  sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
+  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
+  const auto results = sweep.map(cells.size(), [&](std::uint64_t i) {
+    const auto [n, sc] = cells[i];
+    core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));
+    msgpass::NetworkParams p;
+    p.delay_min = sc->delay_min;
+    p.delay_max = sc->delay_max;
+    p.delay_model = sc->model;
+    p.service_min = 0.05;
+    p.service_max = 0.1;
+    p.refresh_interval = 40.0;
+    p.seed = 11;
+    auto sim = msgpass::make_ssrmin_cst(
+        ring, core::canonical_legitimate(ring, 0), p);
+    return sim.run(duration);
+  });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto [n, sc] = cells[i];
+    const msgpass::CoverageStats& s = results[i];
+    const double mean_gap =
+        s.zero_intervals > 0
+            ? s.zero_token_time / static_cast<double>(s.zero_intervals)
+            : 0.0;
+    table.row()
+        .cell(sc->name)
+        .cell(n)
+        .cell(sc->delay_min +
+                  (sc->delay_max - sc->delay_min) *
+                      (sc->model == msgpass::DelayModel::kUniform ? 0.5
+                                                                  : 1.0),
+              2)
+        .cell(100.0 * s.coverage(), 4)
+        .cell(s.zero_intervals)
+        .cell(mean_gap, 2)
+        .cell(s.handovers > 0
+                  ? 1000.0 * static_cast<double>(s.zero_intervals) /
+                        static_cast<double>(s.handovers)
+                  : 0.0,
+              3)
+        .cell(s.handovers);
   }
   std::cout << table.render() << '\n';
   bench::maybe_export(table, "tail");

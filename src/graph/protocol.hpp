@@ -85,11 +85,11 @@ class GraphEngine {
     }
   }
 
-  std::vector<std::size_t> enabled_indices() const {
-    std::vector<std::size_t> idx;
-    std::vector<int> rules;
-    enabled(idx, rules);
-    return idx;
+  /// Sorted enabled indices, filled into member scratch (no per-call
+  /// allocation). Invalidated by the next enabled_indices()/step_with().
+  const std::vector<std::size_t>& enabled_indices() const {
+    enabled(scratch_indices_, scratch_rules_);
+    return scratch_indices_;
   }
 
   /// One composite-atomicity step at the selected (enabled) nodes.
@@ -140,8 +140,8 @@ class GraphEngine {
   std::uint64_t steps_ = 0;
   std::uint64_t moves_ = 0;
   mutable std::vector<State> scratch_;
-  std::vector<std::size_t> scratch_indices_;
-  std::vector<int> scratch_rules_;
+  mutable std::vector<std::size_t> scratch_indices_;
+  mutable std::vector<int> scratch_rules_;
 };
 
 /// Runs until no node is enabled (silence) or the step budget is spent.

@@ -1,0 +1,15 @@
+#include "sim/sweep.hpp"
+
+namespace ssr::sim {
+
+Rng trial_rng(std::uint64_t seed, std::uint64_t trial) {
+  // Jump the splitmix64 stream seeded with `seed` directly to position
+  // `trial` (the state advance is += golden gamma per output), then take
+  // one output as the xoshiro seed. Changing either seed or trial changes
+  // the whole child stream; the golden values are pinned by
+  // tests/test_sim_sweep.cpp.
+  std::uint64_t state = seed + trial * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64_next(state));
+}
+
+}  // namespace ssr::sim

@@ -1,0 +1,98 @@
+// Deterministic parallel Monte Carlo trial harness.
+//
+// Every empirical table in this repo is a fold over independent trials
+// (or independent parameter cells). TrialSweep fans those units over a
+// util::ThreadPool with the same determinism recipe the parallel model
+// checker uses, strengthened for floating-point folds:
+//
+//  * every unit gets its own RNG stream derived *only* from (seed, unit
+//    index) via the splitmix64 stream (trial_rng below) — never from a
+//    shared generator whose state would depend on execution order;
+//  * results land in a slot vector indexed by unit, so the fold that
+//    builds the table consumes them in unit order no matter which worker
+//    computed them or in what interleaving;
+//  * chunks are claimed dynamically, so stragglers (one slow trial) don't
+//    serialize the sweep.
+//
+// Consequence: the table/JSON a ported bench emits is bit-identical at
+// any worker count (pinned at 1/2/8 by tests/test_sim_sweep.cpp), which
+// is what lets BENCH_*.json trajectories compare wall time across PRs
+// without the statistics drifting.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ssr::sim {
+
+/// Independent per-trial RNG stream for trial `trial` of a sweep seeded
+/// with `seed`: the Rng is seeded from the (trial+1)-th output of the
+/// splitmix64 stream that starts at `seed`. splitmix64 advances its state
+/// by a constant add, so the stream supports O(1) jumps — trial t's seed
+/// costs one multiply, not t generator steps — and distinct trials get
+/// decorrelated full-period xoshiro streams regardless of how trials are
+/// scheduled across workers.
+Rng trial_rng(std::uint64_t seed, std::uint64_t trial);
+
+struct SweepOptions {
+  /// Total workers including the caller; 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Units claimed per grab. 1 (default) maximizes balance, which is right
+  /// for the typical "tens of trials, each milliseconds to seconds" shape.
+  std::uint64_t chunk = 1;
+};
+
+/// Reusable fan-out of independent work units over a persistent pool.
+/// One TrialSweep can serve many map()/run_trials() calls (e.g. one per
+/// table row); workers are created once.
+class TrialSweep {
+ public:
+  explicit TrialSweep(SweepOptions options = {})
+      : pool_(options.threads), chunk_(options.chunk) {
+    SSR_REQUIRE(chunk_ > 0, "sweep chunk size must be positive");
+  }
+
+  /// Total workers, caller included.
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Evaluates fn(index) for index in [0, count) across the pool and
+  /// returns the results in index order (deterministic at any worker
+  /// count). R must be default-constructible and movable. An exception
+  /// from any unit rethrows on the caller.
+  template <typename Fn>
+  auto map(std::uint64_t count, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>;
+    std::vector<R> results(count);
+    pool_.for_chunks(0, count, chunk_,
+                     [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                       for (std::uint64_t t = lo; t < hi; ++t) {
+                         results[t] = fn(t);
+                       }
+                     });
+    return results;
+  }
+
+  /// Monte Carlo flavor of map(): evaluates fn(trial, rng) with each
+  /// trial's private trial_rng(seed, trial) stream. Same determinism
+  /// contract as map().
+  template <typename Fn>
+  auto run_trials(std::uint64_t seed, std::uint64_t trials, Fn&& fn) {
+    return map(trials, [&](std::uint64_t t) {
+      Rng rng = trial_rng(seed, t);
+      return fn(t, rng);
+    });
+  }
+
+ private:
+  util::ThreadPool pool_;
+  std::uint64_t chunk_;
+};
+
+}  // namespace ssr::sim

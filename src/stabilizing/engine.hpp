@@ -6,8 +6,19 @@
 // are simultaneous — the engine snapshots neighbor reads before applying
 // any command, which is what the composite atomicity + distributed daemon
 // semantics require (and what makes synchronous schedules meaningful).
+//
+// Enabled-set maintenance is incremental: because a guard of P_i reads
+// only the states of P_{i-1}, P_i and P_{i+1} (the RingProtocol contract),
+// a step that moves k processes can only change enabledness at those k
+// processes and their ring neighbors. The engine therefore keeps a
+// persistent per-process rule cache plus the sorted enabled set, and
+// repairs both in O(k) guard evaluations per step instead of rescanning
+// all n processes. The naive full scan survives as a debug oracle
+// (set_debug_scan_checks / enabled_cache_consistent) and is exercised by a
+// differential test.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -31,6 +42,8 @@ class Engine {
     SSR_REQUIRE(config_.size() == protocol_.size(),
                 "configuration size must equal ring size");
     SSR_REQUIRE(config_.size() >= 2, "ring needs at least two processes");
+    rule_cache_.resize(config_.size());
+    rebuild_enabled_cache();
   }
 
   const P& protocol() const { return protocol_; }
@@ -41,41 +54,53 @@ class Engine {
   void reset(Configuration c) {
     SSR_REQUIRE(c.size() == config_.size(), "ring size cannot change");
     config_ = std::move(c);
+    rebuild_enabled_cache();
   }
 
   /// Overwrites one process's state (single-process transient fault).
+  /// Repairs the enabled cache at i and its two neighbors only.
   void corrupt(std::size_t i, State s) {
     SSR_REQUIRE(i < config_.size(), "process index out of range");
     config_[i] = std::move(s);
+    const std::size_t n = config_.size();
+    dirty_.clear();
+    dirty_.push_back(pred_index(i, n));
+    dirty_.push_back(i);
+    dirty_.push_back(succ_index(i, n));
+    repair_enabled_cache();
   }
 
-  /// Rule currently enabled at process i (kDisabled if none).
+  /// Rule currently enabled at process i (kDisabled if none). Served from
+  /// the incremental cache; scan_rule() is the uncached equivalent.
   int enabled_rule(std::size_t i) const {
-    const std::size_t n = config_.size();
-    return protocol_.enabled_rule(i, config_[i], config_[pred_index(i, n)],
-                                  config_[succ_index(i, n)]);
+    SSR_REQUIRE(i < config_.size(), "process index out of range");
+    return rule_cache_[i];
   }
 
   bool is_enabled(std::size_t i) const { return enabled_rule(i) != kDisabled; }
 
-  /// Sorted indices of all enabled processes, with their rule ids.
-  void enabled(std::vector<std::size_t>& indices, std::vector<int>& rules) const {
-    indices.clear();
-    rules.clear();
-    for (std::size_t i = 0; i < config_.size(); ++i) {
-      const int r = enabled_rule(i);
-      if (r != kDisabled) {
-        indices.push_back(i);
-        rules.push_back(r);
-      }
-    }
+  /// Number of currently enabled processes.
+  std::size_t enabled_count() const { return enabled_indices_.size(); }
+
+  /// Zero-copy view of the current enabled set, in the shape daemons
+  /// consume. Invalidated by step/corrupt/reset.
+  EnabledView enabled_view() const {
+    return EnabledView{enabled_indices_, enabled_rules_, config_.size()};
   }
 
-  std::vector<std::size_t> enabled_indices() const {
-    std::vector<std::size_t> idx;
-    std::vector<int> rules;
-    enabled(idx, rules);
-    return idx;
+  /// Sorted indices of all enabled processes, with their rule ids (copied
+  /// out of the cache; prefer enabled_view() on hot paths).
+  void enabled(std::vector<std::size_t>& indices, std::vector<int>& rules) const {
+    indices = enabled_indices_;
+    rules = enabled_rules_;
+  }
+
+  /// Sorted enabled indices. References the engine's persistent cache (no
+  /// allocation); invalidated by step/corrupt/reset. Passing it straight
+  /// back into step() is safe — the step reads the selection before it
+  /// touches the cache.
+  const std::vector<std::size_t>& enabled_indices() const {
+    return enabled_indices_;
   }
 
   /// Applies one composite-atomicity step at the given processes. Every
@@ -89,19 +114,32 @@ class Engine {
     step_rules_.clear();
     scratch_writes_.reserve(selected.size());
     step_rules_.reserve(selected.size());
+    // @p selected may alias enabled_indices_; it is not read again after
+    // this loop.
     for (std::size_t i : selected) {
       SSR_REQUIRE(i < n, "selected process index out of range");
       const State& self = config_[i];
       const State& pred = config_[pred_index(i, n)];
       const State& succ = config_[succ_index(i, n)];
-      const int rule = protocol_.enabled_rule(i, self, pred, succ);
+      const int rule = rule_cache_[i];
       SSR_REQUIRE(rule != kDisabled, "daemon selected a disabled process");
       scratch_writes_.emplace_back(i, protocol_.apply(i, rule, self, pred, succ));
       step_rules_.push_back(rule);
     }
-    for (auto& [i, s] : scratch_writes_) config_[i] = std::move(s);
+    dirty_.clear();
+    for (auto& [i, s] : scratch_writes_) {
+      config_[i] = std::move(s);
+      dirty_.push_back(pred_index(i, n));
+      dirty_.push_back(i);
+      dirty_.push_back(succ_index(i, n));
+    }
+    repair_enabled_cache();
     ++steps_;
     moves_ += selected.size();
+    if (debug_scan_checks_) {
+      SSR_ASSERT(enabled_cache_consistent(),
+                 "incremental enabled cache diverged from the full scan");
+    }
     return step_rules_;
   }
 
@@ -109,10 +147,8 @@ class Engine {
   /// performs nothing) iff no process is enabled — which, for the protocols
   /// in this library, would falsify the paper's no-deadlock lemma.
   bool step_with(Daemon& daemon) {
-    enabled(scratch_indices_, scratch_rules_);
-    if (scratch_indices_.empty()) return false;
-    const EnabledView view{scratch_indices_, scratch_rules_, config_.size()};
-    const std::vector<std::size_t> chosen = daemon.select(view);
+    if (enabled_indices_.empty()) return false;
+    const std::vector<std::size_t> chosen = daemon.select(enabled_view());
     SSR_REQUIRE(!chosen.empty(), "daemon returned an empty selection");
     step(chosen);
     return true;
@@ -123,14 +159,100 @@ class Engine {
   /// Total process moves (sum of selection sizes over all steps).
   std::uint64_t moves() const { return moves_; }
 
+  /// Uncached enabled rule at i — the pre-incremental O(1)-per-process
+  /// guard evaluation, kept as the oracle for cache validation.
+  int scan_rule(std::size_t i) const {
+    const std::size_t n = config_.size();
+    return protocol_.enabled_rule(i, config_[i], config_[pred_index(i, n)],
+                                  config_[succ_index(i, n)]);
+  }
+
+  /// Full-scan differential check: does the incremental cache equal a
+  /// fresh O(n) rescan? Used by tests and the debug-check mode.
+  bool enabled_cache_consistent() const {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      const int r = scan_rule(i);
+      if (rule_cache_[i] != r) return false;
+      if (r != kDisabled) {
+        if (pos >= enabled_indices_.size() || enabled_indices_[pos] != i ||
+            enabled_rules_[pos] != r) {
+          return false;
+        }
+        ++pos;
+      }
+    }
+    return pos == enabled_indices_.size();
+  }
+
+  /// When on, every step() re-derives the enabled set with the naive full
+  /// scan and asserts it matches the incremental cache. O(n) per step —
+  /// meant for tests and debugging, not measurement runs.
+  void set_debug_scan_checks(bool on) { debug_scan_checks_ = on; }
+
  private:
+  /// O(n) rebuild, used at construction and reset().
+  void rebuild_enabled_cache() {
+    enabled_indices_.clear();
+    enabled_rules_.clear();
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      const int r = scan_rule(i);
+      rule_cache_[i] = r;
+      if (r != kDisabled) {
+        enabled_indices_.push_back(i);
+        enabled_rules_.push_back(r);
+      }
+    }
+  }
+
+  /// Re-evaluates the guards at the (unsorted, possibly duplicated)
+  /// indices in dirty_ and splices the changes into the sorted enabled
+  /// set. Guard work is O(|dirty|); the splice is a linear merge over the
+  /// enabled list, which involves no guard evaluations.
+  void repair_enabled_cache() {
+    std::sort(dirty_.begin(), dirty_.end());
+    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+    merged_indices_.clear();
+    merged_rules_.clear();
+    std::size_t a = 0;  // cursor into the old enabled list
+    for (std::size_t d : dirty_) {
+      while (a < enabled_indices_.size() && enabled_indices_[a] < d) {
+        merged_indices_.push_back(enabled_indices_[a]);
+        merged_rules_.push_back(enabled_rules_[a]);
+        ++a;
+      }
+      if (a < enabled_indices_.size() && enabled_indices_[a] == d) ++a;
+      const int r = scan_rule(d);
+      rule_cache_[d] = r;
+      if (r != kDisabled) {
+        merged_indices_.push_back(d);
+        merged_rules_.push_back(r);
+      }
+    }
+    while (a < enabled_indices_.size()) {
+      merged_indices_.push_back(enabled_indices_[a]);
+      merged_rules_.push_back(enabled_rules_[a]);
+      ++a;
+    }
+    enabled_indices_.swap(merged_indices_);
+    enabled_rules_.swap(merged_rules_);
+  }
+
   P protocol_;
   Configuration config_;
   std::uint64_t steps_ = 0;
   std::uint64_t moves_ = 0;
-  // Reused across step_with calls to avoid per-step allocation.
-  std::vector<std::size_t> scratch_indices_;
-  std::vector<int> scratch_rules_;
+  bool debug_scan_checks_ = false;
+  // Incremental enabled-set cache: rule_cache_[i] is the enabled rule at
+  // process i (kDisabled if none); enabled_indices_/enabled_rules_ are the
+  // sorted enabled set derived from it. Always in sync with config_.
+  std::vector<int> rule_cache_;
+  std::vector<std::size_t> enabled_indices_;
+  std::vector<int> enabled_rules_;
+  // Scratch for repair_enabled_cache (reused to avoid per-step allocation).
+  std::vector<std::size_t> dirty_;
+  std::vector<std::size_t> merged_indices_;
+  std::vector<int> merged_rules_;
   // Reused across step calls (same reason); step_rules_ doubles as the
   // returned rule list.
   std::vector<std::pair<std::size_t, State>> scratch_writes_;

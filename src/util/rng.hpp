@@ -107,6 +107,16 @@ class Rng {
 
   /// Derives an independent child generator; useful to give each node or
   /// each repetition its own stream without correlated draws.
+  ///
+  /// Derivation (stable across versions; golden values pinned by
+  /// tests/test_rng.cpp): draw one 64-bit value from this generator —
+  /// advancing the parent's state, so successive split() calls yield
+  /// distinct children — XOR it with the splitmix64 golden gamma, and
+  /// seed a fresh Rng from the result through the usual splitmix64
+  /// expansion. Sequential splits are the right tool when the *call
+  /// order* is deterministic; when trials are scheduled dynamically
+  /// across workers, derive streams from (seed, trial index) instead
+  /// (sim::trial_rng).
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
 
   /// Fisher–Yates shuffle of a random-access container.

@@ -45,8 +45,24 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
 double SampleSet::mean() const {
   if (samples_.empty()) return 0.0;
+  // Fold in sorted order so the float sum — and therefore the reported
+  // mean — depends only on the sample multiset, not on insertion order.
+  ensure_sorted();
   double s = 0.0;
   for (double x : samples_) s += x;
   return s / static_cast<double>(samples_.size());
@@ -54,6 +70,7 @@ double SampleSet::mean() const {
 
 double SampleSet::stddev() const {
   if (samples_.size() < 2) return 0.0;
+  ensure_sorted();
   const double m = mean();
   double s = 0.0;
   for (double x : samples_) s += (x - m) * (x - m);
@@ -73,10 +90,7 @@ double SampleSet::max() const {
 double SampleSet::percentile(double q) const {
   SSR_REQUIRE(!samples_.empty(), "SampleSet::percentile on empty set");
   SSR_REQUIRE(q >= 0.0 && q <= 100.0, "percentile must be in [0, 100]");
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  ensure_sorted();
   if (samples_.size() == 1) return samples_[0];
   const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

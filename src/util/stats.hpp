@@ -37,10 +37,21 @@ class OnlineStats {
 };
 
 /// Batch summary over a retained sample vector; supports exact percentiles.
+///
+/// Every statistic is a function of the sorted sample multiset: mean and
+/// stddev fold over the sorted vector, so two SampleSets holding the same
+/// samples report bit-identical doubles regardless of insertion or merge
+/// order. That is what lets the parallel trial sweeps (sim::TrialSweep)
+/// merge per-trial partials in any order and still emit byte-identical
+/// tables at every worker count.
 class SampleSet {
  public:
   void add(double x) { samples_.push_back(x); sorted_ = false; }
   void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Absorbs another sample set (order-independent: the result depends
+  /// only on the combined multiset of samples).
+  void merge(const SampleSet& other);
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -54,9 +65,14 @@ class SampleSet {
   double percentile(double q) const;
   double median() const { return percentile(50.0); }
 
+  /// The retained samples. Sorted ascending whenever a statistic has been
+  /// computed since the last insertion; callers must not rely on
+  /// insertion order.
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  void ensure_sorted() const;
+
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

@@ -5,7 +5,10 @@
 //       Print a Figure-4-style execution table.
 //
 //   ssring converge  [--n N] [--trials T] [--daemon D] [--seed X]
+//                    [--threads W]
 //       Convergence-step statistics from random initial configurations.
+//       Trials fan out over W workers (0 = hardware); the table is
+//       identical at every worker count.
 //
 //   ssring check     [--n N] [--k K] [--threads T]
 //       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst
@@ -45,6 +48,7 @@
 #include "inclusion/camera.hpp"
 #include "msgpass/factories.hpp"
 #include "msgpass/timeline.hpp"
+#include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
 #include "stabilizing/trace.hpp"
@@ -122,18 +126,27 @@ int cmd_converge(int argc, char** argv) {
   const int trials = std::atoi(value_of(argc, argv, "--trials", "50"));
   const std::string daemon_name =
       value_of(argc, argv, "--daemon", "distributed-random-subset");
-  Rng rng(arg_seed(argc, argv));
+  sim::SweepOptions sweep_options;
+  sweep_options.threads = static_cast<std::size_t>(
+      std::atoi(value_of(argc, argv, "--threads", "0")));
 
   const core::SsrMinRing ring(n, K);
+  sim::TrialSweep sweep(sweep_options);
+  const auto results = sweep.run_trials(
+      arg_seed(argc, argv), static_cast<std::uint64_t>(trials),
+      [&](std::uint64_t, Rng& rng) {
+        stab::Engine<core::SsrMinRing> engine(ring,
+                                              core::random_config(ring, rng));
+        auto daemon = stab::make_daemon(daemon_name, rng.split());
+        auto legit = [&ring](const core::SsrConfig& c) {
+          return core::is_legitimate(ring, c);
+        };
+        const auto r = stab::run_until(engine, *daemon, legit, 200ULL * n * n);
+        return r.reached ? static_cast<double>(r.steps) : -1.0;
+      });
   SampleSet steps;
-  for (int t = 0; t < trials; ++t) {
-    stab::Engine<core::SsrMinRing> engine(ring, core::random_config(ring, rng));
-    auto daemon = stab::make_daemon(daemon_name, rng.split());
-    auto legit = [&ring](const core::SsrConfig& c) {
-      return core::is_legitimate(ring, c);
-    };
-    const auto r = stab::run_until(engine, *daemon, legit, 200ULL * n * n);
-    if (r.reached) steps.add(static_cast<double>(r.steps));
+  for (double s : results) {
+    if (s >= 0.0) steps.add(s);
   }
   TextTable table({"n", "K", "daemon", "trials", "mean", "p50", "p95", "max",
                    "mean/n^2"});
@@ -385,7 +398,8 @@ void usage() {
       << "ssring <command> [options]\n\n"
          "commands:\n"
          "  trace      print a Figure-4-style execution table\n"
-         "  converge   convergence statistics from random starts\n"
+         "  converge   convergence statistics from random starts "
+         "(--threads W)\n"
          "  check      exhaustive model check (small n; --threads T)\n"
          "  modelgap   token availability under message passing\n"
          "  timeline   ASCII token timeline (Figures 11-13)\n"
