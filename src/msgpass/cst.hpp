@@ -32,6 +32,7 @@
 #include <queue>
 #include <vector>
 
+#include "runtime/fault_plan.hpp"
 #include "stabilizing/protocol.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -78,6 +79,15 @@ struct NetworkParams {
   double service_max = 1.0;
   /// RNG seed for delays, losses and timer jitter.
   std::uint64_t seed = 1;
+  /// Shared fault schedule (runtime/fault_plan.hpp). An empty plan is
+  /// completely inert: it consumes no RNG draws, so seeded runs reproduce
+  /// the pre-fault-plan trajectories bit for bit. Window drops count as
+  /// losses; corruption behind a checksum is loss (Lemma 9), so corrupt
+  /// frames are marked lost too.
+  runtime::FaultPlan fault_plan;
+  /// Scale between the simulator's abstract ticks and the fault clock /
+  /// telemetry microseconds (window times, exported timestamps).
+  double microseconds_per_tick = 1000.0;
 
   void validate() const;
 
@@ -94,8 +104,10 @@ struct CoverageStats {
   std::size_t max_holders = 0;
   std::uint64_t events = 0;
   std::uint64_t deliveries = 0;
-  std::uint64_t losses = 0;
+  std::uint64_t transmissions = 0;  ///< sends that entered a link
+  std::uint64_t losses = 0;         ///< random + window-dropped + corrupted
   std::uint64_t rule_executions = 0;
+  std::uint64_t crash_restarts = 0;
   /// Number of times the set of token-holding nodes changed.
   std::uint64_t handovers = 0;
 
@@ -125,7 +137,10 @@ class CstSimulation {
         states_(std::move(initial)),
         caches_(states_.size()),
         links_(states_.size()),
-        exec_pending_(states_.size(), 0) {
+        exec_pending_(states_.size(), 0),
+        injector_(params_.fault_plan, states_.size() >= 2 ? states_.size() : 2),
+        has_plan_(!params_.fault_plan.empty()),
+        has_windows_(!params_.fault_plan.windows.empty()) {
     params_.validate();
     SSR_REQUIRE(states_.size() == protocol_.size(),
                 "configuration size must equal ring size");
@@ -140,6 +155,8 @@ class CstSimulation {
 
   std::size_t size() const { return states_.size(); }
   Time now() const { return now_; }
+  /// Current simulated time on the fault/telemetry clock (microseconds).
+  double fault_clock_us() const { return now_ * params_.microseconds_per_tick; }
   const P& protocol() const { return protocol_; }
 
   /// True state of node i (omniscient view).
@@ -236,6 +253,7 @@ class CstSimulation {
     State payload{};
     bool lost = false;
     bool duplicate = false;
+    bool force_duplicate = false;  ///< injector-scripted duplication
 
     friend bool operator>(const Event& a, const Event& b) {
       if (a.time != b.time) return a.time > b.time;
@@ -282,8 +300,9 @@ class CstSimulation {
   void transmit(std::size_t i, Dir d, const State& payload) {
     Link& l = link(i, d);
     l.busy = true;
+    ++transmissions_;
     Event e;
-    e.time = now_ + params_.draw_delay(rng_);
+    double delay = params_.draw_delay(rng_);
     e.seq = next_seq_++;
     e.kind = Event::Kind::kDelivery;
     e.node = neighbor(i, d);
@@ -291,6 +310,23 @@ class CstSimulation {
     e.dir = d;
     e.payload = payload;
     e.lost = rng_.bernoulli(params_.loss_probability);
+    if (has_plan_) {
+      // The injector draws in a fixed order (and an inert probability
+      // consumes no draws), so the whole trajectory stays a pure function
+      // of (seed, plan).
+      const runtime::FrameFate fate =
+          injector_.on_send(i, e.node, fault_clock_us(), rng_);
+      // Corruption behind a checksum is loss (Lemma 9); a window drop
+      // still occupies the link for its transit time, like any loss.
+      if (fate.drop || fate.corrupt_bits > 0) e.lost = true;
+      if (fate.duplicate) e.force_duplicate = true;
+      // Reordering on a one-message-at-a-time link = the frame arriving
+      // stale: stretch its transit past the frames that overtake it.
+      if (fate.reorder) {
+        delay += params_.draw_delay(rng_) + params_.draw_delay(rng_);
+      }
+    }
+    e.time = now_ + delay;
     queue_.push(std::move(e));
   }
 
@@ -313,9 +349,17 @@ class CstSimulation {
       ++stats.losses;
       return;
     }
+    // A frame addressed to a scripted-down node was sent before the window
+    // opened (frames sent during it are dropped at the sender): the radio
+    // is off, so it is lost on arrival.
+    if (has_windows_ && injector_.node_down(e.node, fault_clock_us())) {
+      ++stats.losses;
+      return;
+    }
     // Duplication fault: replay this delivery once more after a fresh
     // delay. Duplicates can themselves not duplicate (one replay max).
-    if (!e.duplicate && rng_.bernoulli(params_.duplicate_probability)) {
+    if (!e.duplicate && (rng_.bernoulli(params_.duplicate_probability) ||
+                         e.force_duplicate)) {
       Event ghost = e;
       ghost.duplicate = true;
       ghost.seq = next_seq_++;
@@ -401,6 +445,7 @@ class CstSimulation {
   template <typename StopFn>
   CoverageStats run_impl(Time deadline, StopFn&& stop) {
     CoverageStats stats;
+    const std::uint64_t transmissions_before = transmissions_;
     stopped_ = false;
     bool in_zero_interval = (holder_count_ == 0);
     if (stop(*this)) {
@@ -418,15 +463,45 @@ class CstSimulation {
       if (observer_ && dt > 0.0) observer_(now_, e.time, holders_);
       now_ = e.time;
 
+      bool node_is_down = false;
+      if (has_windows_) {
+        // Scripted crash/pause windows, checked on the event's own node.
+        // Timers fire every refresh interval, so the crash reset lands
+        // within one interval of the window opening.
+        const double t_us = fault_clock_us();
+        if (injector_.take_crash(e.node, t_us)) {
+          states_[e.node] = State{};
+          caches_[e.node] = Caches{};
+          ++stats.crash_restarts;
+        }
+        node_is_down = injector_.node_down(e.node, t_us);
+      }
       switch (e.kind) {
         case Event::Kind::kDelivery:
+          // Delivered even while the receiver is down: handle_delivery
+          // frees the sender's link, then discards the frame (see the
+          // node_down check there).
           handle_delivery(e, stats);
           break;
         case Event::Kind::kTimer:
-          handle_timer(e);
+          if (node_is_down) {
+            // The radio is off; keep the timer armed so the node resumes
+            // broadcasting when the window closes. (Its outgoing frames
+            // would be window-dropped at the injector anyway.)
+            push_timer(e.node, now_ + params_.refresh_interval);
+          } else {
+            handle_timer(e);
+          }
           break;
         case Event::Kind::kExecute:
-          handle_execute(e, stats);
+          if (node_is_down) {
+            // A down node executes no rules; drop the pending execution.
+            // It will be rescheduled by the first delivery after the
+            // window closes.
+            exec_pending_[e.node] = false;
+          } else {
+            handle_execute(e, stats);
+          }
           break;
       }
       ++stats.events;
@@ -463,6 +538,7 @@ class CstSimulation {
       stats.min_holders = holder_count_;
       stats.max_holders = std::max(stats.max_holders, holder_count_);
     }
+    stats.transmissions = transmissions_ - transmissions_before;
     return stats;
   }
 
@@ -479,6 +555,10 @@ class CstSimulation {
   std::vector<Caches> caches_;
   std::vector<std::array<Link, 2>> links_;
   std::vector<std::uint8_t> exec_pending_;
+  runtime::FaultInjector injector_;
+  bool has_plan_ = false;
+  bool has_windows_ = false;
+  std::uint64_t transmissions_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 
   std::vector<bool> holders_;

@@ -1,0 +1,96 @@
+// Seqlock-protected holder-bit board shared by the real runtimes.
+//
+// The original scheme (store the holder byte, then bump a version counter
+// once; readers compare version before/after) was not a real seqlock: a
+// writer that had stored its bit but not yet bumped the counter was
+// invisible to the version check, so a reader could observe a mid-update
+// holder vector with v1 == v2 and certify the torn snapshot as
+// consistent. This board implements the classic odd/even protocol with
+// serialized writers:
+//
+//   writer:  lock(write mutex); version ← odd; write bits; version ← even
+//   reader:  v1 ← version; if v1 odd, retry; read bits; v2 ← version;
+//            consistent iff v1 == v2
+//
+// Writers serialize on a mutex (publications are rare — a holder flip per
+// handover), so "version is odd" is exactly "some writer is mid-flight",
+// and an even, unchanged version brackets a quiescent read. Readers never
+// take the mutex. All accesses are seq_cst: the bits are single bytes and
+// the publish rate is a few kHz at most, so the simplest memory-order
+// reasoning wins over saving a fence. The pair invariant is stress-tested
+// under TSan by tests/test_seqlock_stress.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "runtime/sampler.hpp"
+#include "util/assert.hpp"
+
+namespace ssr::runtime {
+
+class HolderBoard {
+ public:
+  explicit HolderBoard(std::size_t n)
+      : n_(n), bits_(std::make_unique<std::atomic<std::uint8_t>[]>(n)) {
+    SSR_REQUIRE(n >= 1, "holder board needs at least one bit");
+    for (std::size_t i = 0; i < n_; ++i)
+      bits_[i].store(0, std::memory_order_relaxed);
+  }
+
+  HolderBoard(const HolderBoard&) = delete;
+  HolderBoard& operator=(const HolderBoard&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// Seqlocked single-bit publication.
+  void publish(std::size_t i, bool holds) {
+    publish_batch([&](auto&& set) { set(i, holds); });
+  }
+
+  /// Seqlocked multi-bit publication: @p fn receives a set(i, bool)
+  /// callable; every bit written inside one call lands in the same
+  /// version window, so consistent snapshots see all of them or none.
+  template <typename Fn>
+  void publish_batch(Fn&& fn) {
+    std::lock_guard lock(write_mutex_);
+    version_.fetch_add(1, std::memory_order_seq_cst);  // odd: write begins
+    fn([this](std::size_t i, bool holds) {
+      SSR_ASSERT(i < n_, "holder index out of range");
+      bits_[i].store(holds ? 1 : 0, std::memory_order_seq_cst);
+    });
+    version_.fetch_add(1, std::memory_order_seq_cst);  // even: write ends
+  }
+
+  /// Optimistic consistent snapshot; retries while writers interleave.
+  /// After @p max_retries the last (possibly torn) read is returned with
+  /// consistent = false.
+  HolderSnapshot sample(int max_retries = 64) const {
+    HolderSnapshot snap;
+    snap.holders.resize(n_);
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+      const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
+      if ((v1 & 1) != 0) continue;  // a writer is mid-flight
+      for (std::size_t i = 0; i < n_; ++i) {
+        snap.holders[i] = bits_[i].load(std::memory_order_seq_cst) != 0;
+      }
+      const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
+      if (v1 == v2) {
+        snap.consistent = true;
+        return snap;
+      }
+    }
+    snap.consistent = false;
+    return snap;
+  }
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> bits_;
+  std::atomic<std::uint64_t> version_{0};
+  std::mutex write_mutex_;
+};
+
+}  // namespace ssr::runtime

@@ -1,20 +1,31 @@
 // Real-thread execution of a ring protocol under the CST discipline: one
-// std::jthread per node, bounded channels as links, the pop timeout as the
-// refresh timer. This is the "wireless sensor node" substitute — message
-// transmission takes real (scheduler-dependent) time, so the model gap the
-// paper analyzes in §5 exists physically here, not just in simulation.
+// std::jthread per node, latest-value mailboxes as links, the pop timeout
+// as the refresh timer. This is the "wireless sensor node" substitute —
+// message transmission takes real (scheduler-dependent) time, so the model
+// gap the paper analyzes in §5 exists physically here, not just in
+// simulation.
 //
 // Concurrency design (per the CP.* Core Guidelines rules):
 //  * each node's protocol state and caches are owned exclusively by its
 //    thread — never shared;
 //  * cross-thread communication is only (a) latest-value mailboxes and
-//    (b) a per-node atomic "holds a token" bit plus a global version
-//    counter used for optimistic consistent snapshots;
+//    (b) a seqlocked per-node "holds a token" bit board (HolderBoard)
+//    used for consistent snapshots;
 //  * a node publishes its token bit *before* sending the state update that
 //    could cause a neighbor to act on it. This ordering is what makes
 //    SSRmin's graceful-handover guarantee hold for real samplers: the old
 //    holder only clears its bit after observing an acknowledgment whose
 //    sender had already set its own bit.
+//
+// Fault injection: a runtime::FaultPlan (RuntimeParams::fault_plan; the
+// legacy loss_probability knob folds into it) drives both probabilistic
+// per-message faults and scripted windows. Corruption has no wire layer to
+// flip bits in here — a checksummed radio turns corruption into loss
+// (Lemma 9's model), so a corrupted message is counted and dropped.
+// Reordering is implemented at the sender: the message is held back and
+// delivered *after* the next message on the same link, so the receiver
+// genuinely observes a stale state overwrite a fresh one — exactly the
+// hazard the latest-value-mailbox design note below warns about.
 //
 // Why latest-value mailboxes and not FIFO queues: CST messages carry the
 // sender's *whole state*, so a receiver loses nothing by only ever seeing
@@ -41,6 +52,10 @@
 #include <thread>
 #include <utility>
 #include <vector>
+#include "runtime/fault_plan.hpp"
+#include "runtime/holder_board.hpp"
+#include "runtime/sampler.hpp"
+#include "runtime/telemetry.hpp"
 #include "stabilizing/protocol.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -51,37 +66,22 @@ struct RuntimeParams {
   /// CST refresh period: a node with a silent inbox rebroadcasts its state
   /// this often.
   std::chrono::microseconds refresh_interval{1000};
-  /// Probability that a single message transmission is dropped.
+  /// Convenience knob: probability that a single message transmission is
+  /// dropped. Folded into fault_plan (probability union) at construction.
   double loss_probability = 0.0;
-  /// Seed for the per-node loss/jitter generators.
+  /// Seed for the per-node fault/jitter generators.
   std::uint64_t seed = 1;
   /// Inbox capacity; overflow drops the stalest update.
   std::size_t channel_capacity = 64;
+  /// Full fault schedule (see runtime/fault_plan.hpp). Window times count
+  /// from start().
+  FaultPlan fault_plan;
 
   void validate() const;
-};
-
-/// Consistent-snapshot result (see ThreadedRing::sample).
-struct HolderSnapshot {
-  std::vector<bool> holders;
-  bool consistent = false;  ///< version counter was stable across the read
-};
-
-/// Aggregate observations from a sampling run.
-struct SamplerReport {
-  std::uint64_t samples = 0;
-  std::uint64_t consistent_samples = 0;
-  /// Consistent samples observing zero token holders. The paper's graceful
-  /// handover (Theorem 3) predicts 0 for SSRmin started legitimate; plain
-  /// Dijkstra has real extinction windows a sampler can catch.
-  std::uint64_t zero_holder_samples = 0;
-  std::size_t min_holders = std::numeric_limits<std::size_t>::max();
-  std::size_t max_holders = 0;
-  /// Holder-set changes between consecutive consistent samples.
-  std::uint64_t handovers = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_lost = 0;
-  std::uint64_t rule_executions = 0;
+  /// fault_plan with loss_probability folded in.
+  FaultPlan effective_plan() const {
+    return fault_plan.with_legacy(loss_probability);
+  }
 };
 
 template <stab::RingProtocol P>
@@ -99,23 +99,18 @@ class ThreadedRing {
       : protocol_(std::move(protocol)),
         params_(params),
         token_(std::move(token)),
-        initial_(std::move(initial)) {
+        initial_(std::move(initial)),
+        board_(initial_.size() > 0 ? initial_.size() : 1),
+        injector_(params_.effective_plan(), initial_.size() > 1 ? initial_.size() : 2) {
     params_.validate();
     SSR_REQUIRE(initial_.size() == protocol_.size(),
                 "configuration size must equal ring size");
-    const std::size_t n = initial_.size();
-    holders_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < initial_.size(); ++i) {
       nodes_.push_back(std::make_unique<NodeShared>(params_.channel_capacity));
     }
     // Publish the initial (coherent) holder bits from the constructor so a
     // sampler never observes a bogus startup window.
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool h =
-          token_(i, initial_[i], initial_[stab::pred_index(i, n)],
-                 initial_[stab::succ_index(i, n)]);
-      holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
-    }
+    publish_initial_holders();
   }
 
   ~ThreadedRing() { stop(); }
@@ -130,10 +125,16 @@ class ThreadedRing {
     activation_ = std::move(fn);
   }
 
-  /// Launches the node threads. Idempotent.
+  /// Launches the node threads. Idempotent; restartable after stop() (the
+  /// run restarts from the initial configuration, with the fault clock and
+  /// crash windows re-armed; counters keep accumulating).
   void start() {
     if (running_) return;
     running_ = true;
+    injector_.rearm();
+    epoch_ = std::chrono::steady_clock::now();
+    publish_initial_holders();
+    for (auto& node : nodes_) node->inbox.open();
     Rng seeder(params_.seed);
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       const std::uint64_t node_seed = seeder();
@@ -159,63 +160,58 @@ class ThreadedRing {
     nodes_[i]->inbox.post_corrupt(std::move(s));
   }
 
-  /// Optimistic consistent snapshot of the holder bits: reads the version
-  /// counter, the bits, and the counter again, retrying while publications
-  /// interleave. After @p max_retries the last (possibly torn) read is
-  /// returned with consistent = false.
+  /// Consistent holder snapshot (seqlocked; see HolderBoard).
   HolderSnapshot sample(int max_retries = 64) const {
-    HolderSnapshot snap;
-    snap.holders.resize(nodes_.size());
-    for (int attempt = 0; attempt < max_retries; ++attempt) {
-      const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        snap.holders[i] =
-            holders_[i].load(std::memory_order_seq_cst) != 0;
-      }
-      const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
-      if (v1 == v2) {
-        snap.consistent = true;
-        return snap;
-      }
-    }
-    snap.consistent = false;
-    return snap;
+    return board_.sample(max_retries);
   }
 
   /// Samples the holder bits every @p interval for @p duration and
-  /// aggregates coverage statistics. Runs on the caller's thread.
+  /// aggregates coverage statistics. Runs on the caller's thread. When
+  /// @p telemetry is given, the holder timeline, fault windows and
+  /// per-node counters are recorded into it (wall-clock timestamps on the
+  /// injector's fault clock).
   SamplerReport observe(std::chrono::milliseconds duration,
-                        std::chrono::microseconds interval) {
+                        std::chrono::microseconds interval,
+                        Telemetry* telemetry = nullptr) {
     SSR_REQUIRE(running_, "call start() before observe()");
-    SamplerReport report;
-    std::vector<bool> previous;
-    const auto deadline = std::chrono::steady_clock::now() + duration;
-    while (std::chrono::steady_clock::now() < deadline) {
-      const HolderSnapshot snap = sample();
-      ++report.samples;
-      if (snap.consistent) {
-        ++report.consistent_samples;
-        std::size_t count = 0;
-        for (bool b : snap.holders)
-          if (b) ++count;
-        if (count == 0) ++report.zero_holder_samples;
-        report.min_holders = std::min(report.min_holders, count);
-        report.max_holders = std::max(report.max_holders, count);
-        if (!previous.empty() && previous != snap.holders) ++report.handovers;
-        previous = snap.holders;
-      }
-      std::this_thread::sleep_for(interval);
-    }
-    report.messages_sent = messages_sent_.load(std::memory_order_relaxed);
-    report.messages_lost = messages_lost_.load(std::memory_order_relaxed);
-    report.rule_executions = rule_execs_.load(std::memory_order_relaxed);
-    if (report.min_holders == std::numeric_limits<std::size_t>::max())
-      report.min_holders = 0;
+    if (telemetry != nullptr) telemetry->set_plan(injector_.plan());
+    SamplerReport report = sample_holders(
+        [this] { return sample(); }, [this] { return now_us(); }, duration,
+        interval, telemetry);
+    report.messages_sent = sum_counter(&PerNodeCounters::sent);
+    report.messages_lost = sum_counter(&PerNodeCounters::dropped) +
+                           sum_counter(&PerNodeCounters::corrupted);
+    report.rule_executions = sum_counter(&PerNodeCounters::rules);
+    if (telemetry != nullptr) fill_node_telemetry(*telemetry);
     return report;
   }
 
   std::uint64_t rule_executions() const {
-    return rule_execs_.load(std::memory_order_relaxed);
+    return sum_counter(&PerNodeCounters::rules);
+  }
+
+  std::uint64_t crash_restarts() const {
+    return sum_counter(&PerNodeCounters::crashes);
+  }
+
+  const FaultPlan& fault_plan() const { return injector_.plan(); }
+
+  /// Copies the per-node counters into @p telemetry.
+  void fill_node_telemetry(Telemetry& telemetry) const {
+    std::vector<NodeTelemetry> counters(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const PerNodeCounters& c = nodes_[i]->counters;
+      NodeTelemetry& t = counters[i];
+      t.frames_sent = c.sent.load(std::memory_order_relaxed);
+      t.frames_dropped = c.dropped.load(std::memory_order_relaxed);
+      t.frames_duplicated = c.duplicated.load(std::memory_order_relaxed);
+      t.frames_reordered = c.reordered.load(std::memory_order_relaxed);
+      t.frames_corrupted = c.corrupted.load(std::memory_order_relaxed);
+      t.frames_received = c.received.load(std::memory_order_relaxed);
+      t.rule_executions = c.rules.load(std::memory_order_relaxed);
+      t.crash_restarts = c.crashes.load(std::memory_order_relaxed);
+    }
+    telemetry.set_node_counters(std::move(counters));
   }
 
  private:
@@ -246,7 +242,7 @@ class ThreadedRing {
         if (closed) return;
         corrupt = std::move(s);
       }
-      cv.notify_one();
+      cv.notify_all();
     }
 
     void close() {
@@ -255,6 +251,16 @@ class ThreadedRing {
         closed = true;
       }
       cv.notify_all();
+    }
+
+    /// Reopens after close() and clears stale slots (restart support; must
+    /// not race with node threads — callers hold the start/stop sequence).
+    void open() {
+      std::lock_guard lock(mutex);
+      closed = false;
+      from_pred.reset();
+      from_succ.reset();
+      corrupt.reset();
     }
 
     /// Waits for any slot (or timeout), then drains all slots atomically.
@@ -272,46 +278,117 @@ class ThreadedRing {
     }
   };
 
+  /// Per-node fault/wire counters; written only by the owning node thread,
+  /// read by the sampler. Cache-line aligned to avoid false sharing on the
+  /// hot send path.
+  struct alignas(64) PerNodeCounters {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};
+    std::atomic<std::uint64_t> corrupted{0};
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> rules{0};
+    std::atomic<std::uint64_t> crashes{0};
+  };
+
   struct NodeShared {
     explicit NodeShared(std::size_t /*capacity*/) {}
     Mailbox inbox;
+    PerNodeCounters counters;
   };
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::uint64_t sum_counter(
+      std::atomic<std::uint64_t> PerNodeCounters::* member) const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+      total += (node->counters.*member).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void publish_initial_holders() {
+    const std::size_t n = initial_.size();
+    board_.publish_batch([&](auto&& set) {
+      for (std::size_t i = 0; i < n; ++i) {
+        set(i, token_(i, initial_[i], initial_[stab::pred_index(i, n)],
+                      initial_[stab::succ_index(i, n)]));
+      }
+    });
+  }
 
   void node_main(std::size_t i, std::uint64_t seed, std::stop_token st) {
     const std::size_t n = nodes_.size();
     const std::size_t pred = stab::pred_index(i, n);
     const std::size_t succ = stab::succ_index(i, n);
     Rng rng(seed);
+    PerNodeCounters& counters = nodes_[i]->counters;
+    const bool scripted = !injector_.plan().windows.empty();
+    const auto pause_slice =
+        std::min(params_.refresh_interval, std::chrono::microseconds{200});
     // Thread-local protocol state: own state plus neighbor caches, seeded
     // coherently from the shared initial configuration.
     State self = initial_[i];
     State cache_pred = initial_[pred];
     State cache_succ = initial_[succ];
-    bool holding = holders_[i].load(std::memory_order_seq_cst) != 0;
+    bool holding = token_(i, self, cache_pred, cache_succ);
+    // Reorder hold slots, one per outgoing link (pred-/succ-directed): a
+    // held message is transmitted after the next one on the same link.
+    std::optional<State> held_to_pred;
+    std::optional<State> held_to_succ;
 
     auto publish = [&] {
       const bool h = token_(i, self, cache_pred, cache_succ);
       if (h != holding) {
-        holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
-        version_.fetch_add(1, std::memory_order_seq_cst);
+        board_.publish(i, h);
         holding = h;
         if (activation_) activation_(i, h);
       }
     };
-    auto send_to = [&](std::size_t target, bool as_pred) {
-      messages_sent_.fetch_add(1, std::memory_order_relaxed);
-      if (rng.bernoulli(params_.loss_probability)) {
-        messages_lost_.fetch_add(1, std::memory_order_relaxed);
+    auto send_to = [&](std::size_t target, bool as_pred,
+                       std::optional<State>& held) {
+      const FrameFate fate = injector_.on_send(i, target, now_us(), rng);
+      if (fate.drop) {
+        counters.dropped.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      if (fate.corrupt_bits > 0) {
+        // No wire layer to flip bits in: a checksummed radio turns
+        // corruption into loss (Lemma 9's model).
+        counters.corrupted.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (fate.reorder && !held.has_value()) {
+        held = self;
+        counters.reordered.fetch_add(1, std::memory_order_relaxed);
+        return;  // transmitted after the next message on this link
+      }
       nodes_[target]->inbox.post_state(as_pred, self);
+      counters.sent.fetch_add(1, std::memory_order_relaxed);
+      if (fate.duplicate) {
+        nodes_[target]->inbox.post_state(as_pred, self);
+        counters.sent.fetch_add(1, std::memory_order_relaxed);
+        counters.duplicated.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (held.has_value()) {
+        // Flush the held (now stale) message after the fresh one.
+        nodes_[target]->inbox.post_state(as_pred, *held);
+        counters.sent.fetch_add(1, std::memory_order_relaxed);
+        held.reset();
+      }
     };
     auto broadcast = [&] {
       // Predecessor first: the update chain that can re-trigger us runs
       // through our successor, so the pred-directed copy must be posted
       // before the succ-directed one (see the class comment).
-      send_to(pred, /*as_pred=*/false);  // we are our predecessor's succ
-      send_to(succ, /*as_pred=*/true);   // we are our successor's pred
+      send_to(pred, /*as_pred=*/false, held_to_pred);  // we are pred's succ
+      send_to(succ, /*as_pred=*/true, held_to_succ);   // we are succ's pred
     };
 
     // Initial broadcast primes the neighbors' caches.
@@ -321,6 +398,22 @@ class ThreadedRing {
     std::optional<State> got_succ;
     std::optional<State> got_corrupt;
     while (!st.stop_requested()) {
+      if (scripted) {
+        const double t = now_us();
+        if (injector_.take_crash(i, t)) {
+          // Crash with state reset: protocol state and caches are wiped;
+          // the node restarts from the default state when the window ends.
+          self = State{};
+          cache_pred = State{};
+          cache_succ = State{};
+          counters.crashes.fetch_add(1, std::memory_order_relaxed);
+          publish();
+        }
+        if (injector_.node_down(i, t)) {
+          std::this_thread::sleep_for(pause_slice);
+          continue;
+        }
+      }
       const bool received = nodes_[i]->inbox.take(
           params_.refresh_interval, got_pred, got_succ, got_corrupt);
       if (st.stop_requested()) break;
@@ -331,13 +424,19 @@ class ThreadedRing {
         continue;
       }
       if (got_corrupt) self = *got_corrupt;
-      if (got_pred) cache_pred = *got_pred;
-      if (got_succ) cache_succ = *got_succ;
+      if (got_pred) {
+        cache_pred = *got_pred;
+        counters.received.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (got_succ) {
+        cache_succ = *got_succ;
+        counters.received.fetch_add(1, std::memory_order_relaxed);
+      }
       const int rule =
           protocol_.enabled_rule(i, self, cache_pred, cache_succ);
       if (rule != stab::kDisabled) {
         self = protocol_.apply(i, rule, self, cache_pred, cache_succ);
-        rule_execs_.fetch_add(1, std::memory_order_relaxed);
+        counters.rules.fetch_add(1, std::memory_order_relaxed);
       }
       // Publish before sending: a neighbor that acts on this state update
       // must already be able to observe our new token bit.
@@ -355,12 +454,10 @@ class ThreadedRing {
   std::vector<std::unique_ptr<NodeShared>> nodes_;
   std::vector<std::jthread> threads_;
   bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
 
-  std::unique_ptr<std::atomic<std::uint8_t>[]> holders_;
-  std::atomic<std::uint64_t> version_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
-  std::atomic<std::uint64_t> messages_lost_{0};
-  std::atomic<std::uint64_t> rule_execs_{0};
+  HolderBoard board_;
+  FaultInjector injector_;
 };
 
 }  // namespace ssr::runtime

@@ -39,7 +39,12 @@ sockaddr_in loopback_address(std::uint16_t port) {
 
 UdpSsrRing::UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial,
                        UdpParams params)
-    : ring_(ring), params_(params), initial_(std::move(initial)) {
+    : ring_(ring),
+      params_(params),
+      initial_(std::move(initial)),
+      board_(initial_.size() > 0 ? initial_.size() : 1),
+      injector_(params_.effective_plan(),
+                initial_.size() > 1 ? initial_.size() : 2) {
   params_.validate();
   SSR_REQUIRE(initial_.size() == ring_.size(),
               "configuration size must equal ring size");
@@ -71,14 +76,8 @@ UdpSsrRing::UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial,
                 "failed to set socket timeout");
   }
 
-  holders_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool h =
-        ring_.holds_primary(i, initial_[i],
-                            initial_[stab::pred_index(i, n)]) ||
-        ring_.holds_secondary(initial_[i], initial_[stab::succ_index(i, n)]);
-    holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
-  }
+  counters_ = std::make_unique<PerNodeCounters[]>(n);
+  publish_initial_holders();
 }
 
 UdpSsrRing::~UdpSsrRing() {
@@ -88,10 +87,48 @@ UdpSsrRing::~UdpSsrRing() {
   }
 }
 
+void UdpSsrRing::publish_initial_holders() {
+  const std::size_t n = initial_.size();
+  board_.publish_batch([&](auto&& set) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool h =
+          ring_.holds_primary(i, initial_[i],
+                              initial_[stab::pred_index(i, n)]) ||
+          ring_.holds_secondary(initial_[i], initial_[stab::succ_index(i, n)]);
+      set(i, h);
+    }
+  });
+}
+
+double UdpSsrRing::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t UdpSsrRing::sum_counter(
+    std::atomic<std::uint64_t> PerNodeCounters::* member) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < initial_.size(); ++i) {
+    total += (counters_[i].*member).load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void UdpSsrRing::start() {
   if (running_) return;
   running_ = true;
   stopping_.store(false);
+  injector_.rearm();
+  epoch_ = std::chrono::steady_clock::now();
+  publish_initial_holders();
+  // Drain any frames left over from a previous run so the restart does not
+  // act on stale states.
+  std::array<std::uint8_t, 512> scratch{};
+  for (int fd : sockets_) {
+    while (::recv(fd, scratch.data(), scratch.size(), MSG_DONTWAIT) >= 0) {
+    }
+  }
   Rng seeder(params_.seed);
   for (std::size_t i = 0; i < sockets_.size(); ++i) {
     const std::uint64_t node_seed = seeder();
@@ -108,63 +145,58 @@ void UdpSsrRing::stop() {
 }
 
 HolderSnapshot UdpSsrRing::sample(int max_retries) const {
-  HolderSnapshot snap;
-  snap.holders.resize(sockets_.size());
-  for (int attempt = 0; attempt < max_retries; ++attempt) {
-    const std::uint64_t v1 = version_.load(std::memory_order_seq_cst);
-    for (std::size_t i = 0; i < sockets_.size(); ++i) {
-      snap.holders[i] = holders_[i].load(std::memory_order_seq_cst) != 0;
-    }
-    const std::uint64_t v2 = version_.load(std::memory_order_seq_cst);
-    if (v1 == v2) {
-      snap.consistent = true;
-      return snap;
-    }
-  }
-  snap.consistent = false;
-  return snap;
+  return board_.sample(max_retries);
 }
 
 SamplerReport UdpSsrRing::observe(std::chrono::milliseconds duration,
-                                  std::chrono::microseconds interval) {
+                                  std::chrono::microseconds interval,
+                                  Telemetry* telemetry) {
   SSR_REQUIRE(running_, "call start() before observe()");
-  SamplerReport report;
-  std::vector<bool> previous;
-  const auto deadline = std::chrono::steady_clock::now() + duration;
-  while (std::chrono::steady_clock::now() < deadline) {
-    const HolderSnapshot snap = sample();
-    ++report.samples;
-    if (snap.consistent) {
-      ++report.consistent_samples;
-      std::size_t count = 0;
-      for (bool b : snap.holders)
-        if (b) ++count;
-      if (count == 0) ++report.zero_holder_samples;
-      report.min_holders = std::min(report.min_holders, count);
-      report.max_holders = std::max(report.max_holders, count);
-      if (!previous.empty() && previous != snap.holders) ++report.handovers;
-      previous = snap.holders;
-    }
-    std::this_thread::sleep_for(interval);
-  }
-  report.messages_sent = frames_sent_.load(std::memory_order_relaxed);
-  report.messages_lost = frames_dropped_.load(std::memory_order_relaxed) +
-                         frames_rejected_.load(std::memory_order_relaxed);
-  report.rule_executions = rule_execs_.load(std::memory_order_relaxed);
-  if (report.min_holders == std::numeric_limits<std::size_t>::max()) {
-    report.min_holders = 0;
-  }
+  if (telemetry != nullptr) telemetry->set_plan(injector_.plan());
+  SamplerReport report = sample_holders(
+      [this] { return sample(); }, [this] { return now_us(); }, duration,
+      interval, telemetry);
+  report.messages_sent = sum_counter(&PerNodeCounters::sent);
+  report.messages_lost = sum_counter(&PerNodeCounters::dropped);
+  report.messages_rejected = sum_counter(&PerNodeCounters::rejected);
+  report.send_errors = sum_counter(&PerNodeCounters::send_errors);
+  report.rule_executions = sum_counter(&PerNodeCounters::rules);
+  if (telemetry != nullptr) fill_node_telemetry(*telemetry);
   return report;
 }
 
 UdpStats UdpSsrRing::stats() const {
   UdpStats s;
-  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
-  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
-  s.frames_received = frames_received_.load(std::memory_order_relaxed);
-  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
-  s.rule_executions = rule_execs_.load(std::memory_order_relaxed);
+  s.frames_sent = sum_counter(&PerNodeCounters::sent);
+  s.frames_dropped = sum_counter(&PerNodeCounters::dropped);
+  s.frames_duplicated = sum_counter(&PerNodeCounters::duplicated);
+  s.frames_reordered = sum_counter(&PerNodeCounters::reordered);
+  s.frames_corrupted = sum_counter(&PerNodeCounters::corrupted);
+  s.frames_received = sum_counter(&PerNodeCounters::received);
+  s.frames_rejected = sum_counter(&PerNodeCounters::rejected);
+  s.send_errors = sum_counter(&PerNodeCounters::send_errors);
+  s.rule_executions = sum_counter(&PerNodeCounters::rules);
+  s.crash_restarts = sum_counter(&PerNodeCounters::crashes);
   return s;
+}
+
+void UdpSsrRing::fill_node_telemetry(Telemetry& telemetry) const {
+  std::vector<NodeTelemetry> counters(initial_.size());
+  for (std::size_t i = 0; i < initial_.size(); ++i) {
+    const PerNodeCounters& c = counters_[i];
+    NodeTelemetry& t = counters[i];
+    t.frames_sent = c.sent.load(std::memory_order_relaxed);
+    t.frames_dropped = c.dropped.load(std::memory_order_relaxed);
+    t.frames_duplicated = c.duplicated.load(std::memory_order_relaxed);
+    t.frames_reordered = c.reordered.load(std::memory_order_relaxed);
+    t.frames_corrupted = c.corrupted.load(std::memory_order_relaxed);
+    t.frames_received = c.received.load(std::memory_order_relaxed);
+    t.frames_rejected = c.rejected.load(std::memory_order_relaxed);
+    t.send_errors = c.send_errors.load(std::memory_order_relaxed);
+    t.rule_executions = c.rules.load(std::memory_order_relaxed);
+    t.crash_restarts = c.crashes.load(std::memory_order_relaxed);
+  }
+  telemetry.set_node_counters(std::move(counters));
 }
 
 void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
@@ -175,65 +207,143 @@ void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
   const sockaddr_in succ_addr = loopback_address(ports_[succ]);
   const int fd = sockets_[i];
   Rng rng(seed);
+  PerNodeCounters& counters = counters_[i];
+  const bool scripted = !injector_.plan().windows.empty();
+  const auto pause_slice =
+      std::min(params_.refresh_interval, std::chrono::microseconds{200});
 
   core::SsrState self = initial_[i];
   core::SsrState cache_pred = initial_[pred];
   core::SsrState cache_succ = initial_[succ];
-  bool holding = holders_[i].load(std::memory_order_seq_cst) != 0;
+  bool holding = ring_.holds_primary(i, self, cache_pred) ||
+                 ring_.holds_secondary(self, cache_succ);
+  // Reorder hold slots, one per outgoing link: a held frame is transmitted
+  // after the next frame on the same link, so it arrives stale.
+  std::optional<wire::Bytes> held_to_pred;
+  std::optional<wire::Bytes> held_to_succ;
 
   auto publish = [&] {
     const bool h = ring_.holds_primary(i, self, cache_pred) ||
                    ring_.holds_secondary(self, cache_succ);
     if (h != holding) {
-      holders_[i].store(h ? 1 : 0, std::memory_order_seq_cst);
-      version_.fetch_add(1, std::memory_order_seq_cst);
+      board_.publish(i, h);
       holding = h;
     }
   };
-  auto send_to = [&](const sockaddr_in& addr) {
-    frames_sent_.fetch_add(1, std::memory_order_relaxed);
-    if (rng.bernoulli(params_.drop_probability)) {
-      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  auto transmit = [&](const sockaddr_in& addr, const wire::Bytes& frame) {
+    if (::sendto(fd, frame.data(), frame.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+      // The kernel refused the datagram (full buffer, ...): this frame was
+      // never on the wire, so it must not count as sent.
+      counters.send_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters.sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto send_to = [&](std::size_t target, const sockaddr_in& addr,
+                     std::optional<wire::Bytes>& held) {
+    const FrameFate fate = injector_.on_send(i, target, now_us(), rng);
+    if (fate.drop) {
+      counters.dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     wire::Bytes frame = wire::encode_state_frame(i, self);
-    if (rng.bernoulli(params_.corruption_probability)) {
-      wire::corrupt_bits(frame, rng, 1);
+    if (fate.corrupt_bits > 0) {
+      // Real corruption: the frame goes out with flipped bits and the
+      // receiver's CRC does the rejecting.
+      wire::corrupt_bits(frame, rng, fate.corrupt_bits);
+      counters.corrupted.fetch_add(1, std::memory_order_relaxed);
     }
-    // Best-effort datagram; a full buffer is just one more kind of loss.
-    (void)::sendto(fd, frame.data(), frame.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (fate.reorder && !held.has_value()) {
+      held = std::move(frame);
+      counters.reordered.fetch_add(1, std::memory_order_relaxed);
+      return;  // transmitted after the next frame on this link
+    }
+    transmit(addr, frame);
+    if (fate.duplicate) {
+      transmit(addr, frame);
+      counters.duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (held.has_value()) {
+      transmit(addr, *held);
+      held.reset();
+    }
   };
   auto broadcast = [&] {
     // Predecessor first (see ThreadedRing's ordering comment).
-    send_to(pred_addr);
-    send_to(succ_addr);
+    send_to(pred, pred_addr, held_to_pred);
+    send_to(succ, succ_addr, held_to_succ);
   };
 
   broadcast();
 
   std::array<std::uint8_t, 512> buffer{};
   while (!stopping_.load(std::memory_order_relaxed)) {
-    // Blocking receive (with the refresh timeout)...
-    const ssize_t first =
-        ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (scripted) {
+      const double t = now_us();
+      if (injector_.take_crash(i, t)) {
+        // Crash with state reset: protocol state and caches are wiped; the
+        // node rejoins from the default state when the window ends.
+        self = core::SsrState{};
+        cache_pred = core::SsrState{};
+        cache_succ = core::SsrState{};
+        counters.crashes.fetch_add(1, std::memory_order_relaxed);
+        publish();
+      }
+      if (injector_.node_down(i, t)) {
+        // Radio off: discard whatever arrived, then idle in short slices
+        // so stop() and the window end stay responsive.
+        while (::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT) >= 0) {
+        }
+        std::this_thread::sleep_for(pause_slice);
+        continue;
+      }
+    }
+    // Blocking receive with the refresh timeout. MSG_TRUNC makes recv()
+    // return the real datagram length so kernel-truncated frames are
+    // detectable instead of being parsed as garbage prefixes.
+    bool timed_out = false;
+    ssize_t first = -1;
+    for (;;) {
+      first = ::recv(fd, buffer.data(), buffer.size(), MSG_TRUNC);
+      if (first >= 0) break;
+      if (errno == EINTR) {
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        continue;  // signal, not a timeout: retry the receive
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timed_out = true;  // the refresh timer fired
+        break;
+      }
+      // Unexpected socket error: not a timer tick. Back off briefly so a
+      // persistent error cannot busy-spin the thread.
+      std::this_thread::sleep_for(pause_slice);
+      break;
+    }
     if (stopping_.load(std::memory_order_relaxed)) break;
     bool any = false;
     std::optional<core::SsrState> newest_pred;
     std::optional<core::SsrState> newest_succ;
     auto ingest = [&](ssize_t len) {
-      if (len <= 0) return;
+      if (len < 0) return;
+      if (len == 0 || static_cast<std::size_t>(len) > buffer.size()) {
+        // Zero-length datagram, or a frame the kernel truncated to fit the
+        // buffer: either way not a parseable frame.
+        counters.rejected.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       wire::DecodeError error{};
       const auto frame = wire::decode_frame(
           wire::ByteView(buffer.data(), static_cast<std::size_t>(len)),
           &error);
       if (!frame) {
-        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        counters.rejected.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       const auto state = wire::decode_ssr_state(frame->payload);
       if (!state || state->x >= ring_.modulus()) {
-        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        counters.rejected.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       if (frame->sender == pred) {
@@ -241,10 +351,10 @@ void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
       } else if (frame->sender == succ) {
         newest_succ = *state;
       } else {
-        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        counters.rejected.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      counters.received.fetch_add(1, std::memory_order_relaxed);
       any = true;
     };
     ingest(first);
@@ -252,23 +362,31 @@ void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
     // frame per neighbor (latest-value semantics).
     for (;;) {
       const ssize_t more =
-          ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
-      if (more < 0) break;
+          ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT | MSG_TRUNC);
+      if (more < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
       ingest(more);
     }
     if (newest_pred) cache_pred = *newest_pred;
     if (newest_succ) cache_succ = *newest_succ;
 
     if (!any) {
-      // Pure timeout: refresh broadcast repairs lost/corrupted frames.
-      broadcast();
+      if (timed_out) {
+        // Pure timeout: refresh broadcast repairs lost/corrupted frames.
+        broadcast();
+      }
+      // Rejected-only wakeups are NOT timer ticks: rebroadcasting on every
+      // garbage frame would couple the refresh rate to an attacker's (or a
+      // noisy link's) send rate.
       continue;
     }
     const int rule = ring_.enabled_rule(i, self, cache_pred, cache_succ);
     bool changed = false;
     if (rule != stab::kDisabled) {
       self = ring_.apply(i, rule, self, cache_pred, cache_succ);
-      rule_execs_.fetch_add(1, std::memory_order_relaxed);
+      counters.rules.fetch_add(1, std::memory_order_relaxed);
       changed = true;
     }
     publish();

@@ -4,6 +4,14 @@
 // wire messages (src/wire); corrupted frames are rejected by checksum and
 // thus behave as losses, exactly the fault model Lemma 9 assumes.
 //
+// Fault injection happens at the sender, driven by a runtime::FaultPlan
+// (UdpParams::fault_plan; the legacy drop/corruption probability knobs
+// fold into it). Corruption here is real: bits are flipped in the encoded
+// frame and the receiver's CRC does the rejecting. Reordered frames are
+// held in a per-link slot and transmitted after the next frame on that
+// link. Scripted windows (burst loss, link down, partition, pause, crash
+// with state reset) run on a wall-clock fault clock counted from start().
+//
 // Differences from Algorithm 4, both documented and deliberate:
 //   * a node broadcasts when its state CHANGES and on the periodic refresh
 //     timer, rather than after every receipt — same repair semantics,
@@ -22,7 +30,10 @@
 #include <vector>
 
 #include "core/ssrmin.hpp"
-#include "runtime/threaded_ring.hpp"  // HolderSnapshot, SamplerReport
+#include "runtime/fault_plan.hpp"
+#include "runtime/holder_board.hpp"
+#include "runtime/sampler.hpp"
+#include "runtime/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace ssr::runtime {
@@ -30,23 +41,37 @@ namespace ssr::runtime {
 struct UdpParams {
   /// Refresh period (socket receive timeout).
   std::chrono::microseconds refresh_interval{2000};
-  /// Probability that an outgoing frame has one random bit flipped
-  /// (exercises the CRC rejection path).
+  /// Convenience knob: probability that an outgoing frame has one random
+  /// bit flipped (exercises the CRC rejection path). Folded into
+  /// fault_plan at construction.
   double corruption_probability = 0.0;
-  /// Probability that an outgoing frame is synthetically dropped.
+  /// Convenience knob: probability that an outgoing frame is synthetically
+  /// dropped. Folded into fault_plan at construction.
   double drop_probability = 0.0;
   std::uint64_t seed = 1;
+  /// Full fault schedule (see runtime/fault_plan.hpp). Window times count
+  /// from start().
+  FaultPlan fault_plan;
 
   void validate() const;
+  /// fault_plan with the legacy drop/corruption knobs folded in.
+  FaultPlan effective_plan() const {
+    return fault_plan.with_legacy(drop_probability, corruption_probability);
+  }
 };
 
 /// Aggregate wire-level counters.
 struct UdpStats {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t frames_dropped = 0;     ///< synthetic drops before send
+  std::uint64_t frames_sent = 0;        ///< actually handed to the kernel
+  std::uint64_t frames_dropped = 0;     ///< injector drops (incl. windows)
+  std::uint64_t frames_duplicated = 0;  ///< extra copies transmitted
+  std::uint64_t frames_reordered = 0;   ///< held back for stale delivery
+  std::uint64_t frames_corrupted = 0;   ///< transmitted with flipped bits
   std::uint64_t frames_received = 0;    ///< valid frames accepted
-  std::uint64_t frames_rejected = 0;    ///< checksum / parse failures
+  std::uint64_t frames_rejected = 0;    ///< CRC/parse/zero-length/truncated
+  std::uint64_t send_errors = 0;        ///< sendto() failures
   std::uint64_t rule_executions = 0;
+  std::uint64_t crash_restarts = 0;
 };
 
 /// A ring of SSRmin nodes communicating over loopback UDP.
@@ -62,21 +87,49 @@ class UdpSsrRing {
   /// The UDP port each node is bound to (loopback).
   const std::vector<std::uint16_t>& ports() const { return ports_; }
 
+  /// Launches the node threads. Restartable after stop(): the run restarts
+  /// from the initial configuration on the same sockets, with the fault
+  /// clock and crash windows re-armed (counters keep accumulating).
   void start();
   void stop();
 
-  /// Consistent holder snapshot (same optimistic versioned scheme as
-  /// ThreadedRing).
+  /// Consistent holder snapshot (seqlocked; see HolderBoard).
   HolderSnapshot sample(int max_retries = 64) const;
 
   /// Samples holder bits periodically for the duration; see ThreadedRing.
+  /// When @p telemetry is given, the holder timeline, fault windows and
+  /// per-node counters are recorded into it.
   SamplerReport observe(std::chrono::milliseconds duration,
-                        std::chrono::microseconds interval);
+                        std::chrono::microseconds interval,
+                        Telemetry* telemetry = nullptr);
 
   UdpStats stats() const;
+  const FaultPlan& fault_plan() const { return injector_.plan(); }
+
+  /// Copies the per-node counters into @p telemetry.
+  void fill_node_telemetry(Telemetry& telemetry) const;
 
  private:
+  /// Per-node wire counters; written only by the owning node thread,
+  /// cache-line aligned to dodge false sharing on the send path.
+  struct alignas(64) PerNodeCounters {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};
+    std::atomic<std::uint64_t> corrupted{0};
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> send_errors{0};
+    std::atomic<std::uint64_t> rules{0};
+    std::atomic<std::uint64_t> crashes{0};
+  };
+
   void node_main(std::size_t i, std::uint64_t seed);
+  void publish_initial_holders();
+  double now_us() const;
+  std::uint64_t sum_counter(
+      std::atomic<std::uint64_t> PerNodeCounters::* member) const;
 
   core::SsrMinRing ring_;
   UdpParams params_;
@@ -87,15 +140,11 @@ class UdpSsrRing {
   std::vector<std::jthread> threads_;
   std::atomic<bool> stopping_{false};
   bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
 
-  std::unique_ptr<std::atomic<std::uint8_t>[]> holders_;
-  std::atomic<std::uint64_t> version_{0};
-
-  std::atomic<std::uint64_t> frames_sent_{0};
-  std::atomic<std::uint64_t> frames_dropped_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> frames_rejected_{0};
-  std::atomic<std::uint64_t> rule_execs_{0};
+  HolderBoard board_;
+  FaultInjector injector_;
+  std::unique_ptr<PerNodeCounters[]> counters_;
 };
 
 }  // namespace ssr::runtime

@@ -103,6 +103,51 @@ TEST(Channel, MultipleProducersSingleConsumer) {
   for (auto& t : producers) t.join();
 }
 
+TEST(Channel, CloseWhilePushRace) {
+  // close() racing concurrent producers: every push must return a definite
+  // verdict (accepted before close, or refused after), with no crash, no
+  // deadlock, and no item admitted after pops started draining nullopt.
+  for (int round = 0; round < 20; ++round) {
+    Channel<int> ch(1024);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&ch, &accepted] {
+        for (int i = 0; i < 200; ++i) {
+          if (ch.push(i)) accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    ch.close();
+    for (auto& t : producers) t.join();
+    int drained = 0;
+    while (ch.pop(1ms).has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load())
+        << "an accepted push vanished or a refused push leaked in";
+    EXPECT_FALSE(ch.push(99));  // stays closed
+  }
+}
+
+TEST(Channel, CloseWhilePopRace) {
+  // close() racing a consumer blocked in pop(): the consumer must wake
+  // promptly with either a queued item or nullopt — never hang for the
+  // full timeout, never observe a torn value.
+  for (int round = 0; round < 20; ++round) {
+    Channel<int> ch(8);
+    std::atomic<bool> done{false};
+    std::thread consumer([&ch, &done] {
+      while (ch.pop(5s).has_value()) {
+      }
+      done.store(true);
+    });
+    ch.push(1);
+    ch.push(2);
+    ch.close();
+    consumer.join();
+    EXPECT_TRUE(done.load());
+  }
+}
+
 TEST(Channel, MoveOnlyPayload) {
   Channel<std::unique_ptr<int>> ch(2);
   ch.push(std::make_unique<int>(42));

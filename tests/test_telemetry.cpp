@@ -1,0 +1,168 @@
+// Tests for the telemetry recorder: exact time integration, fault-window
+// recovery clocks, and the determinism contract — fed from the virtual-
+// time simulator, the JSON export is bit-identical across runs.
+#include "runtime/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/legitimacy.hpp"
+#include "msgpass/factories.hpp"
+
+namespace ssr::runtime {
+namespace {
+
+std::vector<bool> holders(std::initializer_list<int> bits) {
+  std::vector<bool> v;
+  for (int b : bits) v.push_back(b != 0);
+  return v;
+}
+
+TEST(Telemetry, IntegratesHolderTimeline) {
+  Telemetry t(3);
+  t.observe(0.0, holders({1, 0, 0}));
+  t.observe(100.0, holders({0, 0, 0}));  // handover to nobody
+  t.observe(150.0, holders({0, 1, 0}));  // token reappears
+  t.finish(250.0);
+  EXPECT_DOUBLE_EQ(t.observed_us(), 250.0);
+  EXPECT_DOUBLE_EQ(t.holder_time_us()[1], 100.0 + 100.0);
+  EXPECT_DOUBLE_EQ(t.holder_time_us()[0], 50.0);
+  EXPECT_DOUBLE_EQ(t.zero_holder_dwell_us(), 50.0);
+  EXPECT_EQ(t.zero_intervals(), 1u);
+  EXPECT_EQ(t.handovers(), 2u);
+  EXPECT_EQ(t.min_holders(), 0u);
+  EXPECT_EQ(t.max_holders(), 1u);
+}
+
+TEST(Telemetry, CountsAboveRingSizeClampToRingSize) {
+  Telemetry t(2);
+  t.observe(0.0, holders({1, 1}));
+  t.finish(10.0);
+  EXPECT_DOUBLE_EQ(t.holder_time_us()[2], 10.0);
+  EXPECT_EQ(t.max_holders(), 2u);
+}
+
+TEST(Telemetry, WindowRecoveryClock) {
+  Telemetry t(2);
+  FaultPlan plan = FaultPlan::parse("burst@100-200;burst@900-950");
+  t.set_plan(plan);
+  t.observe(0.0, holders({1, 0}));
+  t.observe(150.0, holders({0, 0}));  // dead during the window
+  t.observe(230.0, holders({0, 0}));  // window over, still no holder
+  t.observe(260.0, holders({0, 1}));  // first holder after the window end
+  t.finish(300.0);
+  ASSERT_EQ(t.window_outcomes().size(), 2u);
+  EXPECT_TRUE(t.window_outcomes()[0].recovered);
+  EXPECT_DOUBLE_EQ(t.window_outcomes()[0].time_to_recover_us, 60.0);
+  // The run ended before the second window: it never recovered.
+  EXPECT_FALSE(t.window_outcomes()[1].recovered);
+}
+
+TEST(Telemetry, RejectsMisuse) {
+  Telemetry t(2);
+  t.observe(10.0, holders({1, 0}));
+  EXPECT_THROW(t.observe(5.0, holders({1, 0})), std::invalid_argument);
+  EXPECT_THROW(t.observe(20.0, holders({1, 0, 0})), std::invalid_argument);
+  EXPECT_THROW(t.set_node_counters(std::vector<NodeTelemetry>(3)),
+               std::invalid_argument);
+  t.finish(20.0);
+  EXPECT_THROW(t.observe(30.0, holders({1, 0})), std::invalid_argument);
+  EXPECT_THROW(Telemetry(0), std::invalid_argument);
+}
+
+TEST(Telemetry, JsonCarriesContextAndHistogram) {
+  Telemetry t(2);
+  t.set_context("unit", "ssrmin", 99);
+  t.observe(0.0, holders({1, 0}));
+  t.finish(10.0);
+  const std::string json = t.to_json_string();
+  EXPECT_NE(json.find("\"runtime\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 99"), std::string::npos);
+  EXPECT_NE(json.find("ssr-telemetry-v1"), std::string::npos);
+  EXPECT_NE(json.find("holder_time_us"), std::string::npos);
+}
+
+// --- determinism against the virtual-time simulator ----------------------
+
+runtime::Telemetry run_sim_with_telemetry(const FaultPlan& plan,
+                                          std::uint64_t seed) {
+  const std::size_t n = 4;
+  core::SsrMinRing ring(n, 5);
+  msgpass::NetworkParams net;
+  net.seed = seed;
+  net.fault_plan = plan;
+  auto sim =
+      msgpass::make_ssrmin_cst(ring, core::canonical_legitimate(ring, 0), net);
+  Telemetry telemetry(n);
+  telemetry.set_context("cst-sim", "ssrmin", seed);
+  telemetry.set_plan(plan);
+  sim.set_observer([&telemetry](msgpass::Time from, msgpass::Time,
+                                const std::vector<bool>& h) {
+    telemetry.observe(from * 1000.0, h);
+  });
+  const auto stats = sim.run(600.0);
+  telemetry.finish(sim.fault_clock_us());
+  telemetry.set_aggregates(stats.transmissions, stats.losses,
+                           stats.deliveries, stats.rule_executions);
+  return telemetry;
+}
+
+TEST(TelemetryDifferential, SimulatedRunsAreBitIdentical) {
+  const FaultPlan plan = FaultPlan::parse(
+      "drop=0.1;dup=0.05;reorder=0.05;burst@100ms-150ms;"
+      "linkdown@250ms-300ms:link=1->2;crash@400ms-450ms:node=2");
+  const Telemetry a = run_sim_with_telemetry(plan, 21);
+  const Telemetry b = run_sim_with_telemetry(plan, 21);
+  // The whole export — timeline integrals, window recovery clocks,
+  // aggregate counters — is a pure function of (seed, plan).
+  EXPECT_EQ(a.to_json_string(), b.to_json_string());
+  // And the run actually exercised the plan.
+  EXPECT_GT(a.observed_us(), 0.0);
+  EXPECT_GE(a.handovers(), 1u);
+  // A different seed gives a different trajectory (sanity of the check
+  // above: equal strings are not vacuous).
+  const Telemetry c = run_sim_with_telemetry(plan, 22);
+  EXPECT_NE(a.to_json_string(), c.to_json_string());
+}
+
+TEST(TelemetryDifferential, EmptyPlanIsInert) {
+  // A default (empty) fault plan must not perturb the RNG stream: the
+  // simulation's coverage statistics are bit-identical with and without
+  // the fault-plan machinery engaged.
+  const std::size_t n = 4;
+  core::SsrMinRing ring(n, 5);
+  msgpass::NetworkParams with_plan;
+  with_plan.seed = 5;
+  with_plan.loss_probability = 0.1;
+  with_plan.fault_plan = FaultPlan::parse("");
+  msgpass::NetworkParams without_plan = with_plan;
+  without_plan.fault_plan = FaultPlan{};
+  auto sim_a = msgpass::make_ssrmin_cst(
+      ring, core::canonical_legitimate(ring, 0), with_plan);
+  auto sim_b = msgpass::make_ssrmin_cst(
+      ring, core::canonical_legitimate(ring, 0), without_plan);
+  const auto a = sim_a.run(400.0);
+  const auto b = sim_b.run(400.0);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.losses, b.losses);
+  EXPECT_EQ(a.rule_executions, b.rule_executions);
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_DOUBLE_EQ(a.zero_token_time, b.zero_token_time);
+}
+
+TEST(TelemetryDifferential, CrashWindowRemovesHoldersAndRecovers) {
+  // A crash that wipes the current holder's state must produce a nonzero
+  // zero-holder dwell (outside Theorem 3's fault model), and the ring must
+  // stabilize again afterwards (Theorem 4 / self-stabilization).
+  const FaultPlan plan = FaultPlan::parse("crash@100ms-150ms:node=0");
+  const Telemetry t = run_sim_with_telemetry(plan, 3);
+  ASSERT_EQ(t.window_outcomes().size(), 1u);
+  EXPECT_TRUE(t.window_outcomes()[0].recovered);
+  EXPECT_GE(t.min_holders(), 0u);
+  // After recovery the system held tokens for most of the run.
+  EXPECT_GT(t.holder_time_us()[1] + t.holder_time_us()[2],
+            0.5 * t.observed_us());
+}
+
+}  // namespace
+}  // namespace ssr::runtime

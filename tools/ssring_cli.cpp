@@ -35,8 +35,22 @@
 //
 //   ssring tail      [--n N] [--spread S] [--duration T]
 //       Delay-variance stress on the graceful handover (experiment E22).
+//
+//   ssring run-threaded [--n N] [--k K] [--seed X] [--algo ssrmin|dijkstra]
+//                       [--duration-ms D] [--interval-us I] [--refresh-us R]
+//                       [--loss P] [--fault-plan SPEC] [--telemetry-json F]
+//       Run the real-thread runtime under a fault plan and report holder
+//       coverage; optionally export the telemetry JSON ('-' = stdout).
+//
+//   ssring run-udp      [--n N] [--k K] [--seed X] [--duration-ms D]
+//                       [--interval-us I] [--refresh-us R] [--drop P]
+//                       [--corrupt P] [--fault-plan SPEC]
+//                       [--telemetry-json F]
+//       Same over loopback UDP sockets with CRC-framed wire messages.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -48,6 +62,9 @@
 #include "inclusion/camera.hpp"
 #include "msgpass/factories.hpp"
 #include "msgpass/timeline.hpp"
+#include "runtime/factories.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/udp_ring.hpp"
 #include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
@@ -393,6 +410,128 @@ int cmd_tail(int argc, char** argv) {
   return 0;
 }
 
+/// Shared option parsing for the two runtime commands.
+struct RuntimeRunArgs {
+  std::size_t n = 0;
+  std::uint32_t k = 0;
+  std::uint64_t seed = 1;
+  std::chrono::milliseconds duration{400};
+  std::chrono::microseconds interval{200};
+  std::chrono::microseconds refresh{1000};
+  runtime::FaultPlan plan;
+  std::string telemetry_path;  // empty = none, "-" = stdout
+};
+
+RuntimeRunArgs parse_runtime_args(int argc, char** argv,
+                                  const char* default_refresh_us) {
+  RuntimeRunArgs a;
+  a.n = arg_n(argc, argv, "5");
+  a.k = arg_k(argc, argv, a.n);
+  a.seed = arg_seed(argc, argv);
+  a.duration = std::chrono::milliseconds(
+      std::atoll(value_of(argc, argv, "--duration-ms", "400")));
+  a.interval = std::chrono::microseconds(
+      std::atoll(value_of(argc, argv, "--interval-us", "200")));
+  a.refresh = std::chrono::microseconds(
+      std::atoll(value_of(argc, argv, "--refresh-us", default_refresh_us)));
+  a.plan = runtime::FaultPlan::parse(value_of(argc, argv, "--fault-plan", ""));
+  a.telemetry_path = value_of(argc, argv, "--telemetry-json", "");
+  return a;
+}
+
+int write_telemetry(const std::string& path,
+                    const runtime::Telemetry& telemetry) {
+  if (path.empty()) return 0;
+  const std::string json = telemetry.to_json_string();
+  if (path == "-") {
+    std::cout << json;
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << json;
+  std::cout << "telemetry written to " << path << '\n';
+  return 0;
+}
+
+void print_runtime_report(const runtime::SamplerReport& r) {
+  TextTable table({"samples", "consistent", "zero-holder", "min", "max",
+                   "handovers", "sent", "lost", "rejected", "send errors",
+                   "rules"});
+  table.row()
+      .cell(r.samples)
+      .cell(r.consistent_samples)
+      .cell(r.zero_holder_samples)
+      .cell(r.min_holders)
+      .cell(r.max_holders)
+      .cell(r.handovers)
+      .cell(r.messages_sent)
+      .cell(r.messages_lost)
+      .cell(r.messages_rejected)
+      .cell(r.send_errors)
+      .cell(r.rule_executions);
+  std::cout << table.render();
+}
+
+int cmd_run_threaded(int argc, char** argv) {
+  const RuntimeRunArgs a = parse_runtime_args(argc, argv, "1000");
+  const std::string algo = value_of(argc, argv, "--algo", "ssrmin");
+  runtime::RuntimeParams params;
+  params.refresh_interval = a.refresh;
+  params.loss_probability = std::atof(value_of(argc, argv, "--loss", "0"));
+  params.seed = a.seed;
+  params.fault_plan = a.plan;
+
+  runtime::Telemetry telemetry(a.n);
+  telemetry.set_context("threaded", algo, a.seed);
+  runtime::SamplerReport report;
+  if (algo == "ssrmin") {
+    const core::SsrMinRing ring(a.n, a.k);
+    auto rt = runtime::make_ssrmin_threaded(
+        ring, core::canonical_legitimate(ring, 0), params);
+    rt->start();
+    report = rt->observe(a.duration, a.interval, &telemetry);
+    rt->stop();
+  } else if (algo == "dijkstra") {
+    const dijkstra::KStateRing ring(a.n, a.k);
+    auto rt = runtime::make_kstate_threaded(
+        ring, dijkstra::KStateConfig(a.n), params);
+    rt->start();
+    report = rt->observe(a.duration, a.interval, &telemetry);
+    rt->stop();
+  } else {
+    std::cerr << "unknown --algo: " << algo << '\n';
+    return 2;
+  }
+  print_runtime_report(report);
+  return write_telemetry(a.telemetry_path, telemetry);
+}
+
+int cmd_run_udp(int argc, char** argv) {
+  const RuntimeRunArgs a = parse_runtime_args(argc, argv, "2000");
+  runtime::UdpParams params;
+  params.refresh_interval = a.refresh;
+  params.drop_probability = std::atof(value_of(argc, argv, "--drop", "0"));
+  params.corruption_probability =
+      std::atof(value_of(argc, argv, "--corrupt", "0"));
+  params.seed = a.seed;
+  params.fault_plan = a.plan;
+
+  const core::SsrMinRing ring(a.n, a.k);
+  runtime::UdpSsrRing rt(ring, core::canonical_legitimate(ring, 0), params);
+  runtime::Telemetry telemetry(a.n);
+  telemetry.set_context("udp", "ssrmin", a.seed);
+  rt.start();
+  const runtime::SamplerReport report =
+      rt.observe(a.duration, a.interval, &telemetry);
+  rt.stop();
+  print_runtime_report(report);
+  return write_telemetry(a.telemetry_path, telemetry);
+}
+
 void usage() {
   std::cout
       << "ssring <command> [options]\n\n"
@@ -408,6 +547,8 @@ void usage() {
          "  markov     exact expected stabilization time (small n)\n"
          "  perturb    exhaustive single-fault recovery analysis\n"
          "  tail       delay-variance stress on the handover (E22)\n"
+         "  run-threaded  real-thread runtime under a --fault-plan\n"
+         "  run-udp    loopback-UDP runtime under a --fault-plan\n"
          "\ncommon options: --n --k --seed; see tools/ssring_cli.cpp for "
          "the full per-command list.\n";
 }
@@ -431,6 +572,8 @@ int main(int argc, char** argv) {
     if (cmd == "markov") return cmd_markov(argc, argv);
     if (cmd == "perturb") return cmd_perturb(argc, argv);
     if (cmd == "tail") return cmd_tail(argc, argv);
+    if (cmd == "run-threaded") return cmd_run_threaded(argc, argv);
+    if (cmd == "run-udp") return cmd_run_udp(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();
       return 0;
