@@ -5,13 +5,31 @@
 //
 // Each space is checked at 1 worker thread and (when the host has more
 // than one hardware thread) at full hardware concurrency; the reports are
-// bit-identical, so the extra rows only measure the sharded-sweep speedup.
+// bit-identical at every thread count AND in every Phase B storage mode,
+// so the extra rows only measure speed and memory, never answers.
+//
+// Memory columns: `peakMiB` is the checker's analytic Phase B high-water
+// mark (CheckStats::measured_peak_bytes — per-structure maxima summed, an
+// upper bound on what Phase B holds at once). Process peak RSS
+// (getrusage ru_maxrss) is printed once at the end: it is process-wide
+// and monotone across rows, so per-row deltas are not meaningful, but it
+// bounds the whole run from above.
+//
 // Besides the usual table/export, the run always writes
-// BENCH_modelcheck.json (rows: protocol, n, K, configs, threads, wall_ms)
-// so successive PRs can track the checker's throughput trajectory.
+// BENCH_modelcheck.json (rows: protocol, n, K, configs, threads, mode,
+// wall_ms, peak_mib) so successive PRs can track the checker's
+// throughput and footprint trajectory.
+//
+// `--smoke` runs a minimal tri-mode pass (for the sanitizer CI job) and
+// prints peak RSS.
+#include <sys/resource.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +40,15 @@
 
 namespace {
 
+constexpr double kMiB = 1024.0 * 1024.0;
+
+double peak_rss_mib() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 std::vector<std::size_t> thread_counts() {
   const std::size_t hw =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -30,16 +57,35 @@ std::vector<std::size_t> thread_counts() {
 }
 
 template <typename Checker>
+ssr::verify::CheckReport run_once(const Checker& checker,
+                                  ssr::verify::CheckOptions options,
+                                  std::size_t threads,
+                                  ssr::verify::PhaseBStorage storage,
+                                  double& wall_ms) {
+  options.threads = threads;
+  options.storage = storage;
+  const auto t0 = std::chrono::steady_clock::now();
+  ssr::verify::CheckReport r = checker.run(options);
+  wall_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  return r;
+}
+
+template <typename Checker>
 void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
              const std::string& name, std::size_t n, std::uint32_t K,
-             const Checker& checker, ssr::verify::CheckOptions options) {
-  for (std::size_t threads : thread_counts()) {
-    options.threads = threads;
-    const auto t0 = std::chrono::steady_clock::now();
-    const ssr::verify::CheckReport r = checker.run(options);
-    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+             const Checker& checker, ssr::verify::CheckOptions options,
+             ssr::verify::PhaseBStorage storage =
+                 ssr::verify::PhaseBStorage::kAuto,
+             std::vector<std::size_t> threads_list = {}) {
+  if (threads_list.empty()) threads_list = thread_counts();
+  for (std::size_t threads : threads_list) {
+    double ms = 0.0;
+    const ssr::verify::CheckReport r =
+        run_once(checker, options, threads, storage, ms);
+    const double peak_mib =
+        static_cast<double>(r.stats.measured_peak_bytes) / kMiB;
     table.row()
         .cell(name)
         .cell(n)
@@ -47,27 +93,133 @@ void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
         .cell(r.total_configs)
         .cell(r.legitimate_configs)
         .cell(threads)
+        .cell(ssr::verify::to_string(r.stats.mode))
         .cell(r.deadlock_free)
         .cell(r.closure_holds)
         .cell(r.token_bounds_hold)
         .cell(r.convergence_holds)
         .cell(r.worst_case_steps)
         .cell(r.min_privileged_anywhere)
-        .cell(static_cast<std::uint64_t>(ms));
+        .cell(peak_mib, 1)
+        .cell(ms, 0);
     trajectory.row()
         .cell(name)
         .cell(n)
         .cell(K)
         .cell(r.total_configs)
         .cell(threads)
-        .cell(static_cast<std::uint64_t>(ms));
+        .cell(ssr::verify::to_string(r.stats.mode))
+        .cell(ms, 1)
+        .cell(peak_mib, 2);
   }
+}
+
+/// The headline perf_opt claim: on the same space, the compressed Phase B
+/// holds a small fraction of the legacy CSR's bytes at comparable wall
+/// time. Runs the space in every storage mode at the given thread counts
+/// and prints the legacy/compressed ratios.
+template <typename Checker>
+void run_mode_comparison(ssr::TextTable& table, ssr::TextTable& trajectory,
+                         const std::string& name, std::size_t n,
+                         std::uint32_t K, const Checker& checker,
+                         ssr::verify::CheckOptions options,
+                         const std::vector<std::size_t>& threads_list) {
+  using ssr::verify::PhaseBStorage;
+  for (std::size_t threads : threads_list) {
+    double legacy_ms = 0.0, compressed_ms = 0.0, csrfree_ms = 0.0;
+    const auto legacy = run_once(checker, options, threads,
+                                 PhaseBStorage::kLegacyCsr, legacy_ms);
+    const auto compressed = run_once(checker, options, threads,
+                                     PhaseBStorage::kCompressed,
+                                     compressed_ms);
+    const auto csrfree = run_once(checker, options, threads,
+                                  PhaseBStorage::kCsrFree, csrfree_ms);
+    for (const auto* pair :
+         {&legacy, &compressed, &csrfree}) {
+      const ssr::verify::CheckReport& r = *pair;
+      const double ms = (pair == &legacy)       ? legacy_ms
+                        : (pair == &compressed) ? compressed_ms
+                                                : csrfree_ms;
+      const double peak_mib =
+          static_cast<double>(r.stats.measured_peak_bytes) / kMiB;
+      table.row()
+          .cell(name)
+          .cell(n)
+          .cell(K)
+          .cell(r.total_configs)
+          .cell(r.legitimate_configs)
+          .cell(threads)
+          .cell(ssr::verify::to_string(r.stats.mode))
+          .cell(r.deadlock_free)
+          .cell(r.closure_holds)
+          .cell(r.token_bounds_hold)
+          .cell(r.convergence_holds)
+          .cell(r.worst_case_steps)
+          .cell(r.min_privileged_anywhere)
+          .cell(peak_mib, 1)
+          .cell(ms, 0);
+      trajectory.row()
+          .cell(name)
+          .cell(n)
+          .cell(K)
+          .cell(r.total_configs)
+          .cell(threads)
+          .cell(ssr::verify::to_string(r.stats.mode))
+          .cell(ms, 1)
+          .cell(peak_mib, 2);
+    }
+    const double mem_ratio =
+        static_cast<double>(legacy.stats.measured_peak_bytes) /
+        static_cast<double>(compressed.stats.measured_peak_bytes);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "mode comparison %s(%zu,%u) threads=%zu: peak "
+                  "legacy/compressed = %.1fx, wall compressed/legacy = "
+                  "%.2fx, csr-free peak = %.1f MiB\n",
+                  name.c_str(), n, K, threads, mem_ratio,
+                  compressed_ms / legacy_ms,
+                  static_cast<double>(csrfree.stats.measured_peak_bytes) /
+                      kMiB);
+    std::cout << line;
+  }
+}
+
+int run_smoke() {
+  using namespace ssr;
+  std::cout << "bench_modelcheck --smoke: tri-mode sanity pass\n";
+  verify::CheckOptions ssr_options;
+  verify::CheckOptions dij_options;
+  dij_options.min_privileged = 1;
+  dij_options.max_privileged = 1;
+  int failures = 0;
+  for (verify::PhaseBStorage storage :
+       {verify::PhaseBStorage::kLegacyCsr, verify::PhaseBStorage::kCompressed,
+        verify::PhaseBStorage::kCsrFree}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      double ms = 0.0;
+      const auto ssrmin = run_once(verify::make_ssrmin_checker(3, 4),
+                                   ssr_options, threads, storage, ms);
+      const auto dijkstra = run_once(verify::make_kstate_checker(3, 4),
+                                     dij_options, threads, storage, ms);
+      const bool ok = ssrmin.all_ok() && ssrmin.worst_case_steps == 16 &&
+                      dijkstra.all_ok();
+      if (!ok) ++failures;
+      std::cout << "  storage=" << verify::to_string(storage)
+                << " threads=" << threads << ": "
+                << (ok ? "ok" : "FAILED") << '\n';
+    }
+  }
+  std::cout << "peak-RSS: " << peak_rss_mib() << " MiB\n";
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ssr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
   bench::print_header(
       "E3: exhaustive model checking", "Lemmas 1, 2, 4, 6; Theorems 1-2",
       "over the complete configuration space, SSRmin is deadlock-free, "
@@ -75,10 +227,11 @@ int main() {
       ">= 1 privileged process anywhere, and every execution converges");
 
   TextTable table({"protocol", "n", "K", "configs", "legit", "threads",
-                   "no-deadlock", "closure", "tokens[1,2]", "convergence",
-                   "worst steps", "min priv anywhere", "ms"});
-  TextTable trajectory({"protocol", "n", "K", "configs", "threads",
-                        "wall_ms"});
+                   "mode", "no-deadlock", "closure", "tokens[1,2]",
+                   "convergence", "worst steps", "min priv anywhere",
+                   "peakMiB", "ms"});
+  TextTable trajectory({"protocol", "n", "K", "configs", "threads", "mode",
+                        "wall_ms", "peak_mib"});
 
   verify::CheckOptions ssr_options;  // defaults: privileged in [1,2]
   run_row(table, trajectory, "ssrmin", 3, 4, verify::make_ssrmin_checker(3, 4),
@@ -97,9 +250,11 @@ int main() {
     run_row(table, trajectory, "ssrmin", 4, 7,
             verify::make_ssrmin_checker(4, 7), ssr_options);
     // The big one: 24^5 ≈ 8M configurations, every distributed-daemon
-    // subset choice.
-    run_row(table, trajectory, "ssrmin", 5, 6,
-            verify::make_ssrmin_checker(5, 6), ssr_options);
+    // subset choice — run in all three storage modes at 1 and 2 workers
+    // so the legacy/compressed peak-memory ratio is pinned in the output.
+    run_mode_comparison(table, trajectory, "ssrmin", 5, 6,
+                        verify::make_ssrmin_checker(5, 6), ssr_options,
+                        {1, 2});
   }
 
   verify::CheckOptions dij_options;
@@ -119,6 +274,14 @@ int main() {
   if (bench::full_mode()) {
     run_row(table, trajectory, "dijkstra", 8, 9,
             verify::make_kstate_checker(8, 9), dij_options);
+    // The Hoepman K = N boundary at a size the CSR could still hold...
+    run_row(table, trajectory, "dijkstra", 8, 8,
+            verify::make_kstate_checker(8, 8), dij_options);
+    // ...and one it could not: 9^9 ≈ 387M configurations with ~69G
+    // daemon-subset edges. The legacy CSR would need ~0.5TiB; the slim
+    // backends fit in a few GiB, so this row exists only post-compression.
+    run_row(table, trajectory, "dijkstra", 9, 9,
+            verify::make_kstate_checker(9, 9), dij_options);
   }
 
   std::cout << table.render() << '\n';
@@ -128,6 +291,8 @@ int main() {
     json << trajectory.to_json(2) << '\n';
   }
   std::cout << "(wrote BENCH_modelcheck.json)\n";
+  std::cout << "peak-RSS: " << peak_rss_mib() << " MiB (process high-water "
+               "mark across every row above)\n";
   std::cout << "paper expectation: every boolean column 'yes'; legit = 3nK "
                "(SSRmin, Def. 1) / nK (Dijkstra); worst steps grow ~ n^2 "
                "(Theorem 2; Dijkstra bound 3n(n-1)/2 per [1]).\n";

@@ -6,7 +6,10 @@ namespace ssr::dijkstra {
 
 KStateRing::KStateRing(std::size_t n, std::uint32_t K) : n_(n), k_(K) {
   SSR_REQUIRE(n >= 2, "ring needs at least two processes");
-  SSR_REQUIRE(K > n, "K-state ring requires K > n for stabilization");
+  // Dijkstra's proof uses K > n; Hoepman ("even if K = N") showed the
+  // K = n boundary still stabilizes on rings, and the exhaustive checker
+  // verifies that machine-checked for small n, so K = n is admitted here.
+  SSR_REQUIRE(K >= n, "K-state ring requires K >= n for stabilization");
 }
 
 KStateRing::State KStateRing::apply(std::size_t i, int rule, const State& self,

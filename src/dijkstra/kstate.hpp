@@ -3,9 +3,10 @@
 // The classical 1974 mutual-exclusion token ring on a unidirectional ring:
 // each process holds one counter x_i in {0..K-1}. The bottom process P_0 is
 // enabled ("holds the token") iff x_0 = x_{n-1} and then increments; every
-// other P_i is enabled iff x_i != x_{i-1} and then copies. With K > n the
+// other P_i is enabled iff x_i != x_{i-1} and then copies. With K >= n the
 // ring self-stabilizes to exactly one token under the unfair distributed
-// daemon.
+// daemon (Dijkstra proved K > n; Hoepman tightened the ring case to
+// K = n, and the exhaustive checker confirms that boundary for small n).
 //
 // SSRmin embeds this algorithm as its primary-token sub-protocol (macros
 // G_i / C_i of paper Algorithm 2), so the guard/command logic lives in
@@ -51,8 +52,8 @@ class KStateRing {
   /// Rule id of the unique rule.
   static constexpr int kRule = 1;
 
-  /// Requires n >= 2 and K > n (the bound for stabilization under the
-  /// distributed daemon).
+  /// Requires n >= 2 and K >= n (the Hoepman bound for stabilization on a
+  /// ring under the distributed daemon).
   KStateRing(std::size_t n, std::uint32_t K);
 
   std::size_t size() const { return n_; }

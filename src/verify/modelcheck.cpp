@@ -18,6 +18,30 @@ std::string CheckReport::summary() const {
   return os.str();
 }
 
+std::string CheckStats::summary() const {
+  auto mib = [](std::uint64_t bytes) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << static_cast<double>(bytes) / (1024.0 * 1024.0) << "MiB";
+    return os.str();
+  };
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "phase_b_storage=" << to_string(mode)
+     << " projected_peak=" << mib(projected_peak_bytes)
+     << " measured_peak=" << mib(measured_peak_bytes)
+     << " budget=" << mib(memory_budget_bytes) << " edges=" << edge_count
+     << " bytes_per_edge=" << bytes_per_edge << " rounds=" << rounds
+     << "\n  lambda=" << mib(lambda_bytes) << " counts=" << mib(counts_bytes)
+     << " offsets=" << mib(offsets_bytes) << " edges=" << mib(edges_bytes)
+     << " heights=" << mib(heights_bytes)
+     << " frontier=" << mib(frontier_bytes)
+     << " escape_entries=" << escape_entries;
+  return os.str();
+}
+
 ModelChecker<core::SsrMinRing> make_ssrmin_checker(std::size_t n,
                                                    std::uint32_t K) {
   core::SsrMinRing ring(n, K);

@@ -29,23 +29,47 @@
 // (CheckOptions::threads; 1 = fully sequential, 0 = hardware concurrency):
 //
 //   Phase A (sharded sweep)  — the index range [0, total) is split into
-//     dynamically claimed chunks; each worker walks its chunk with an
-//     allocation-free ConfigOdometer (incremental base-radix counter, no
-//     division, no per-configuration decode), fills the shared Lambda
-//     membership table, and accumulates per-worker partial results. The
-//     closure check consults the precomputed legitimacy table instead of
-//     re-decoding successors. Witnesses merge as "lowest index wins", so
-//     the report is bit-identical to the sequential ascending scan.
+//     dynamically claimed chunks (aligned to TwoLevelBitset::kBlockBits so
+//     every bitset word has one writer); each worker walks its chunk with
+//     an allocation-free ConfigOdometer (incremental base-radix counter,
+//     no division, no per-configuration decode), fills the shared Lambda
+//     membership bitset, and accumulates per-worker partial results. The
+//     closure check consults the precomputed legitimacy bitset instead of
+//     re-evaluating the predicate on decoded successors. Witnesses merge
+//     as "lowest index wins", so the report is bit-identical to the
+//     sequential ascending scan.
 //
-//   Phase B (convergence)    — instead of a DFS, heights are computed by
-//     level-synchronous *reverse induction from Lambda* over a predecessor
-//     CSR: a configuration finalizes once all its successors have, and the
-//     finalizing round is its height (= 1 + max successor height); a
-//     frontier that drains early certifies an illegitimate cycle (the
-//     residue is exactly the set of configurations from which the daemon
-//     can avoid Lambda forever). The height fixpoint is unique, so the
-//     table — and hence worst_case_steps — is identical at every thread
-//     count.
+//   Phase B (convergence)    — heights are computed by level-synchronous
+//     *reverse induction from Lambda*: a configuration finalizes once all
+//     its successors have, and the finalizing round is its height
+//     (= 1 + max successor height); if a round finalizes nothing while
+//     configurations remain, the residue is exactly the set from which
+//     the daemon can avoid Lambda forever — an illegitimate cycle. The
+//     height fixpoint is unique, so the table — and hence
+//     worst_case_steps — is identical at every thread count and in every
+//     storage mode.
+//
+//     Three storage backends implement the induction (CheckOptions::
+//     storage, default kAuto picks from a projected-peak-bytes estimate
+//     against the memory budget — see phaseb_store.hpp):
+//
+//       kLegacyCsr   — the original explicit predecessor CSR (8-byte
+//                      offsets + 4-byte edge entries) peeled Kahn-style
+//                      with pending-successor counts. Fastest per edge,
+//                      but O(4 bytes) per *edge* and edges grow as
+//                      sum of 2^m - 1 over enabled sets m.
+//       kCompressed  — one delta-compressed move record per *source*
+//                      configuration (varint enabled-set mask + packed
+//                      digit deltas; the whole daemon fan-out is implied
+//                      by subset sums), decoded streaming each round.
+//                      A watched-subset probe makes the per-round cost of
+//                      a still-blocked configuration O(record).
+//       kCsrFree     — zero edge storage: successors are re-derived from
+//                      the odometer on every visit. Cheapest memory,
+//                      most recompute.
+//
+//     Per-structure peak bytes, edge counts and round counts are reported
+//     in CheckReport::stats.
 #pragma once
 
 #include <algorithm>
@@ -59,14 +83,16 @@
 
 #include "stabilizing/protocol.hpp"
 #include "util/assert.hpp"
+#include "util/packed_bitset.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/phaseb_store.hpp"
 
 namespace ssr::verify {
 
 /// Verification report. Counterexamples are encoded configuration indices
 /// (decode with ConfigCodec::decode for inspection). All witnesses are the
 /// lowest-numbered configuration exhibiting the property, independent of
-/// CheckOptions::threads.
+/// CheckOptions::threads and CheckOptions::storage.
 struct CheckReport {
   std::uint64_t total_configs = 0;
   std::uint64_t legitimate_configs = 0;
@@ -97,11 +123,16 @@ struct CheckReport {
 
   /// Per-configuration worst-case steps to Lambda (indexed by encoded
   /// configuration; 0 for legitimate configurations). Populated only when
-  /// CheckOptions::keep_heights is set and the convergence pass ran. This
-  /// is the exact "potential function" of the protocol — the
+  /// CheckOptions::keep_heights is set and the convergence pass ran.
+  /// Packed as u16 per configuration with a sparse escape for outliers.
+  /// This is the exact "potential function" of the protocol — the
   /// OptimalAdversary driver and the perturbation analysis are built on
   /// it.
-  std::vector<std::uint32_t> heights;
+  HeightTable heights;
+
+  /// Memory/edge telemetry for the run (identical checks, mode-dependent
+  /// byte counts). Not part of the bit-identity contract.
+  CheckStats stats;
 
   bool all_ok() const {
     return deadlock_free && closure_holds && token_bounds_hold &&
@@ -117,8 +148,8 @@ struct CheckOptions {
   bool check_closure = true;
   bool check_token_bounds = true;
   bool check_convergence = true;
-  /// Retain the per-configuration height table in the report (costs 4
-  /// bytes per configuration).
+  /// Retain the per-configuration height table in the report (costs 2
+  /// bytes per configuration, packed).
   bool keep_heights = false;
   /// Expected privileged-count bounds in legitimate configurations.
   std::size_t min_privileged = 1;
@@ -127,6 +158,14 @@ struct CheckOptions {
   /// hardware thread, 1 = fully sequential. The report is bit-identical
   /// at every thread count.
   std::size_t threads = 0;
+  /// Phase B storage backend; kAuto picks the cheapest mode whose
+  /// projected peak fits the memory budget. The report is bit-identical
+  /// in every mode.
+  PhaseBStorage storage = PhaseBStorage::kAuto;
+  /// Memory budget (bytes) for Phase B mode selection; 0 = the
+  /// SSRING_CHECK_MEMORY_BUDGET environment variable, else 3/4 of
+  /// physical RAM.
+  std::uint64_t memory_budget_bytes = 0;
 };
 
 /// Dense encoding of whole configurations as base-(states_per_process)
@@ -144,7 +183,9 @@ class ConfigCodec {
         encode_(std::move(encode)),
         decode_(std::move(decode)) {
     SSR_REQUIRE(radix_ >= 2, "need at least two states per process");
-    // Guard against u64 overflow of radix^n.
+    // Guard against u64 overflow of radix^n. Feasibility of an exhaustive
+    // *check* is a memory question, decided per run from the projected
+    // Phase B peak (select_phaseb_storage), not a hard cap here.
     std::uint64_t total = 1;
     weights_.reserve(n_);
     for (std::size_t i = 0; i < n_; ++i) {
@@ -154,8 +195,6 @@ class ConfigCodec {
       total *= radix_;
     }
     total_ = total;
-    SSR_REQUIRE(total_ <= (1ULL << 33),
-                "configuration space too large for exhaustive checking");
   }
 
   std::size_t ring_size() const { return n_; }
@@ -302,8 +341,33 @@ class ModelChecker {
     std::vector<std::size_t> idx;       ///< enabled process indices
     std::vector<int> rules;             ///< their enabled rules
     std::vector<std::int64_t> deltas;   ///< per enabled process: code delta
+    std::vector<std::int32_t> digit_deltas;  ///< per enabled process: digit delta
     std::vector<std::int64_t> sums;     ///< subset-sum table (size 2^m)
     std::vector<std::uint64_t> succs;   ///< deduped successor codes
+  };
+
+  /// Per-worker partial results, merged deterministically afterwards. All
+  /// merges are order-independent (min / sum / max-with-lowest-index), so
+  /// dynamic chunk claiming cannot change the report.
+  struct Partial {
+    std::uint64_t legit_count = 0;
+    std::uint64_t deadlock = UINT64_MAX;  ///< lowest deadlocked config
+    std::uint64_t closure = UINT64_MAX;   ///< lowest closure violation
+    std::uint64_t token = UINT64_MAX;     ///< lowest token-bound violation
+    std::size_t min_priv = SIZE_MAX;
+    std::uint32_t max_height = 0;
+    std::uint64_t max_height_at = UINT64_MAX;
+  };
+
+  struct Worker {
+    ConfigOdometer<State> od;
+    SweepScratch s;
+    Partial p;
+    std::vector<std::uint32_t> next;  ///< legacy peel: next frontier
+    std::uint64_t edges = 0;          ///< daemon step edges seen
+    std::uint64_t active0 = 0;        ///< initially active configs
+    std::uint64_t finalized = 0;      ///< configs finalized this round
+    explicit Worker(const ConfigCodec<State>& codec) : od(codec) {}
   };
 
   /// Indices of enabled processes and their rules in @p config.
@@ -348,6 +412,28 @@ class ModelChecker {
     }
   }
 
+  /// Raw per-enabled-process *digit* deltas into s.digit_deltas (what the
+  /// compressed move record stores; multiply by the positional weight to
+  /// recover the code delta). A delta may be 0 for a state-preserving
+  /// rule — such positions stay in the record so the compressed peel
+  /// enumerates the same 2^m - 1 daemon subsets as the other backends.
+  void compute_digit_deltas(const Config& config,
+                            const std::vector<std::uint32_t>& digits,
+                            SweepScratch& s) const {
+    const std::size_t n = config.size();
+    const std::size_t m = s.idx.size();
+    s.digit_deltas.clear();
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t i = s.idx[k];
+      const State next = protocol_.apply(i, s.rules[k], config[i],
+                                         config[stab::pred_index(i, n)],
+                                         config[stab::succ_index(i, n)]);
+      s.digit_deltas.push_back(
+          static_cast<std::int32_t>(codec_.encode_digit(next)) -
+          static_cast<std::int32_t>(digits[i]));
+    }
+  }
+
   /// Invokes fn(successor_code) for each of the 2^m - 1 daemon choices
   /// (subset-sum enumeration over s.deltas; may repeat codes). Requires a
   /// prior compute_deltas on the same configuration.
@@ -379,6 +465,14 @@ class ModelChecker {
     s.succs.erase(std::unique(s.succs.begin(), s.succs.end()), s.succs.end());
   }
 
+  void phase_b_legacy(util::ThreadPool& pool, std::vector<Worker>& ws,
+                      std::uint64_t chunk, const util::TwoLevelBitset& legit,
+                      const CheckOptions& options, CheckReport& report) const;
+  void phase_b_packed(PhaseBStorage mode, util::ThreadPool& pool,
+                      std::vector<Worker>& ws, std::uint64_t chunk,
+                      const util::TwoLevelBitset& legit,
+                      const CheckOptions& options, CheckReport& report) const;
+
   P protocol_;
   ConfigCodec<State> codec_;
   LegitPredicate legit_;
@@ -395,45 +489,33 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
 
   util::ThreadPool pool(options.threads);
   const std::size_t workers = pool.size();
-  const std::uint64_t chunk = std::clamp<std::uint64_t>(
-      total / (workers * 8), 256, std::uint64_t{1} << 16);
+  // Chunks are aligned to the bitset block size so every level-0 and
+  // summary word of the shared bitsets has exactly one writer per pass.
+  constexpr std::uint64_t kAlign = util::TwoLevelBitset::kBlockBits;
+  const std::uint64_t chunk =
+      std::clamp<std::uint64_t>((total / (workers * 8) + kAlign - 1) /
+                                    kAlign * kAlign,
+                                kAlign, std::uint64_t{1} << 16);
 
-  // Per-worker partial results, merged deterministically afterwards. All
-  // merges are order-independent (min / sum), so dynamic chunk claiming
-  // cannot change the report.
-  struct Partial {
-    std::uint64_t legit_count = 0;
-    std::uint64_t deadlock = UINT64_MAX;  ///< lowest deadlocked config
-    std::uint64_t closure = UINT64_MAX;   ///< lowest closure violation
-    std::uint64_t token = UINT64_MAX;     ///< lowest token-bound violation
-    std::size_t min_priv = SIZE_MAX;
-    std::uint32_t max_height = 0;
-    std::uint64_t max_height_at = UINT64_MAX;
-  };
-  struct Worker {
-    ConfigOdometer<State> od;
-    SweepScratch s;
-    Partial p;
-    explicit Worker(const ConfigCodec<State>& codec) : od(codec) {}
-  };
   std::vector<Worker> ws;
   ws.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) ws.emplace_back(codec_);
 
-  // ---- Phase A1: Lambda membership table. Shared across workers (each
-  // byte written by exactly one worker); the closure check and the
-  // convergence pass index into it instead of re-evaluating the predicate
-  // on decoded successors.
-  std::vector<std::uint8_t> legit_flags(total);
+  // ---- Phase A1: Lambda membership bitset. Shared across workers (each
+  // word written by exactly one worker thanks to chunk alignment); the
+  // closure check and the convergence pass index into it instead of
+  // re-evaluating the predicate on decoded successors.
+  util::TwoLevelBitset legit(total);
   pool.for_chunks(0, total, chunk,
                   [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
                     Worker& wk = ws[w];
                     wk.od.seek(lo);
                     std::uint64_t count = 0;
                     for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
-                      const bool legit = legit_(wk.od.config());
-                      legit_flags[c] = legit ? 1 : 0;
-                      count += legit ? 1 : 0;
+                      if (legit_(wk.od.config())) {
+                        legit.set(c);
+                        ++count;
+                      }
                     }
                     wk.p.legit_count += count;
                   });
@@ -453,7 +535,7 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
       }
       const std::size_t priv = privileged_(config);
       p.min_priv = std::min(p.min_priv, priv);
-      if (!legit_flags[c]) continue;
+      if (!legit.test(c)) continue;
       if (options.check_token_bounds && c < p.token &&
           (priv < options.min_privileged || priv > options.max_privileged)) {
         p.token = c;
@@ -461,7 +543,7 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
       if (options.check_closure && c < p.closure && !s.idx.empty()) {
         successors_at(config, wk.od.digits(), c, s);
         for (std::uint64_t sc : s.succs) {
-          if (!legit_flags[sc]) {
+          if (!legit.test(sc)) {
             p.closure = c;
             break;
           }
@@ -496,25 +578,61 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
     report.min_privileged_anywhere = min_priv == SIZE_MAX ? 0 : min_priv;
   }
 
-  if (!options.check_convergence) return report;
+  report.stats.lambda_bytes = legit.bytes();
+  if (!options.check_convergence) {
+    report.stats.mode = options.storage;
+    report.stats.measured_peak_bytes = report.stats.lambda_bytes;
+    return report;
+  }
 
   // ---- Phase B: convergence by reverse induction from Lambda.
-  //
-  // height(c) = 0 on Lambda, height(c) = 1 + max over successors height(c')
-  // elsewhere. Build the *reverse* adjacency (predecessor CSR) of the step
-  // graph once, then peel Kahn-style in level-synchronous rounds from the
-  // height-0 layer: finalizing a config decrements each predecessor's
-  // pending-successor count, and a predecessor whose count reaches zero
-  // joins the next round. A config's height is exactly the round that
-  // finalizes it — its max-height successor (height r-1, by induction
-  // finalized in round r-1) is the last one to finalize — so no forward
-  // adjacency is ever stored or scanned. Every edge is touched O(1) times.
-  // If the frontier drains while configs remain, each remaining config can
-  // step to another remaining config forever — an illegitimate cycle is
-  // reachable and convergence fails. The height fixpoint is unique, so
-  // reports are identical at every thread count.
   SSR_REQUIRE(total <= (std::uint64_t{1} << 32),
               "convergence pass supports at most 2^32 configurations");
+
+  const std::uint64_t budget = options.memory_budget_bytes != 0
+                                   ? options.memory_budget_bytes
+                                   : default_memory_budget();
+  std::uint64_t projected = 0;
+  const PhaseBStorage mode =
+      select_phaseb_storage(options.storage, total, codec_.ring_size(),
+                            codec_.radix(), budget, &projected);
+  report.stats.mode = mode;
+  report.stats.memory_budget_bytes = budget;
+  report.stats.projected_peak_bytes = projected;
+
+  if (mode == PhaseBStorage::kLegacyCsr) {
+    phase_b_legacy(pool, ws, chunk, legit, options, report);
+  } else {
+    phase_b_packed(mode, pool, ws, chunk, legit, options, report);
+  }
+  return report;
+}
+
+// The original Phase B: explicit predecessor CSR peeled Kahn-style with
+// pending-successor counts.
+//
+// height(c) = 0 on Lambda, height(c) = 1 + max over successors height(c')
+// elsewhere. Build the *reverse* adjacency (predecessor CSR) of the step
+// graph once, then peel in level-synchronous rounds from the height-0
+// layer: finalizing a config decrements each predecessor's
+// pending-successor count, and a predecessor whose count reaches zero
+// joins the next round. A config's height is exactly the round that
+// finalizes it — its max-height successor (height r-1, by induction
+// finalized in round r-1) is the last one to finalize — so no forward
+// adjacency is ever stored or scanned. Every edge is touched O(1) times.
+// If the frontier drains while configs remain, each remaining config can
+// step to another remaining config forever — an illegitimate cycle is
+// reachable and convergence fails. The height fixpoint is unique, so
+// reports are identical at every thread count.
+template <stab::RingProtocol P>
+void ModelChecker<P>::phase_b_legacy(util::ThreadPool& pool,
+                                     std::vector<Worker>& ws,
+                                     std::uint64_t chunk,
+                                     const util::TwoLevelBitset& legit,
+                                     const CheckOptions& options,
+                                     CheckReport& report) const {
+  const std::uint64_t total = codec_.total();
+  const std::size_t workers = pool.size();
 
   // Pass 1: out-degrees (pending) and in-degrees (rcount). Successors are
   // enumerated but not stored — the only per-edge state is a predecessor
@@ -533,7 +651,7 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
         Worker& wk = ws[w];
         wk.od.seek(lo);
         for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
-          if (legit_flags[c]) continue;
+          if (legit.test(c)) continue;
           enabled(wk.od.config(), wk.s.idx, wk.s.rules);
           if (wk.s.idx.empty()) continue;  // deadlocked: height 0
           pending[c] =
@@ -591,14 +709,14 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
     }
   }
 
-  std::vector<std::vector<std::uint32_t>> next_frontiers(workers);
+  std::uint64_t frontier_peak = frontier.capacity() * sizeof(std::uint32_t);
   for (std::uint32_t round = 1; !frontier.empty(); ++round) {
     const std::uint64_t fr_chunk = std::clamp<std::uint64_t>(
         frontier.size() / (workers * 8), 64, std::uint64_t{1} << 14);
     pool.for_chunks(0, frontier.size(), fr_chunk, [&](std::size_t w,
                                                       std::uint64_t lo,
                                                       std::uint64_t hi) {
-      std::vector<std::uint32_t>& next = next_frontiers[w];
+      std::vector<std::uint32_t>& next = ws[w].next;
       for (std::uint64_t t = lo; t < hi; ++t) {
         const std::uint32_t f = frontier[t];
         for (std::uint64_t e = roffsets[f]; e < roffsets[f + 1]; ++e) {
@@ -616,12 +734,16 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
         }
       }
     });
+    std::uint64_t live = frontier.capacity() * sizeof(std::uint32_t);
     frontier.clear();
-    for (std::vector<std::uint32_t>& next : next_frontiers) {
-      frontier.insert(frontier.end(), next.begin(), next.end());
-      finalized += next.size();
-      next.clear();
+    for (Worker& wk : ws) {
+      frontier.insert(frontier.end(), wk.next.begin(), wk.next.end());
+      finalized += wk.next.size();
+      live += wk.next.capacity() * sizeof(std::uint32_t);
+      wk.next.clear();
     }
+    frontier_peak = std::max(
+        frontier_peak, std::max(live, frontier.capacity() * sizeof(std::uint32_t)));
   }
 
   if (finalized != total) {
@@ -661,10 +783,295 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
     }
     report.worst_case_steps = worst;
     if (worst > 0) report.worst_case_witness = worst_at;
-    if (options.keep_heights) report.heights = std::move(height);
   }
 
-  return report;
+  CheckStats& st = report.stats;
+  st.edge_count = roffsets[total];
+  st.counts_bytes =
+      (pending.capacity() + rcount.capacity()) * sizeof(std::uint32_t);
+  st.offsets_bytes = roffsets.capacity() * sizeof(std::uint64_t);
+  st.edges_bytes = redges.capacity() * sizeof(std::uint32_t);
+  st.heights_bytes = height.capacity() * sizeof(std::uint32_t);
+  st.frontier_bytes = frontier_peak;
+  st.bytes_per_edge =
+      st.edge_count == 0
+          ? 0.0
+          : static_cast<double>(st.edges_bytes) /
+                static_cast<double>(st.edge_count);
+  st.rounds = report.convergence_holds
+                  ? static_cast<std::uint32_t>(report.worst_case_steps)
+                  : 0;
+  st.measured_peak_bytes = st.lambda_bytes + st.counts_bytes +
+                           st.offsets_bytes + st.edges_bytes +
+                           st.heights_bytes + st.frontier_bytes;
+
+  if (report.convergence_holds && options.keep_heights) {
+    report.heights = HeightTable::pack(height);
+    st.escape_entries = report.heights.escape_entries();
+  }
+}
+
+// The slim Phase B backends. Both drive the same source-scanning peel:
+// instead of materializing predecessor edges, each round r scans the
+// still-active (unfinalized, illegitimate, non-deadlocked) configurations
+// and finalizes those whose successors ALL have height < r. Successor
+// heights written during round r read as >= r, so the set finalized in a
+// round depends only on earlier rounds — the peel computes the unique
+// height fixpoint in any scan order and at any thread count, and a round
+// that finalizes nothing certifies the residue as an illegitimate cycle
+// (same residue, hence same lowest witness, as the legacy Kahn peel).
+//
+// Per-visit cost is kept at O(1) by a watched-successor probe (the
+// watched-literal trick): each active configuration remembers the code of
+// one successor that was still unfinalized last time; while that single
+// successor stays unfinalized — the common case — the visit is one height
+// load, with no record decode or guard sweep at all. Only when the watch
+// clears does the full 2^m - 1 subset-sum enumeration run (early-exiting
+// at a new watch). watch[c] == c means "no watch, full-scan" — a real
+// self-successor (a zero-delta daemon subset) never finalizes anyway, so
+// re-scanning it each round is both sound and cheap (the scan early-exits
+// at that subset).
+//
+// kCompressed derives the per-process code deltas from the configuration's
+// move record; kCsrFree re-derives them from the odometer + protocol rules
+// (zero edge bytes, one guard sweep per visit).
+template <stab::RingProtocol P>
+void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
+                                     util::ThreadPool& pool,
+                                     std::vector<Worker>& ws,
+                                     std::uint64_t chunk,
+                                     const util::TwoLevelBitset& legit,
+                                     const CheckOptions& options,
+                                     CheckReport& report) const {
+  const std::uint64_t total = codec_.total();
+  const std::size_t n = codec_.ring_size();
+  const bool solo = pool.size() == 1;
+  const bool compressed = mode == PhaseBStorage::kCompressed;
+
+  util::TwoLevelBitset active(total);
+  std::vector<std::uint16_t> height_raw(total, 0);
+  std::vector<std::uint32_t> watch(total, 0);
+
+  MoveRecordCodec rcodec;
+  MoveStore store;
+  if (compressed) {
+    rcodec = MoveRecordCodec(n, codec_.radix());
+    store.prepare(total, rcodec);
+  }
+
+  // Init pass: mark active configurations, tally the daemon edge count,
+  // and (compressed) lay out the record stream — per-config local offsets
+  // plus per-block byte totals, both functions of the index alone.
+  pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                       std::uint64_t hi) {
+    Worker& wk = ws[w];
+    SweepScratch& s = wk.s;
+    wk.od.seek(lo);
+    auto visit = [&](std::uint64_t c) -> std::size_t {
+      // Returns the enabled count m (0 = inactive: legitimate or
+      // deadlocked, both height 0).
+      if (legit.test(c)) return 0;
+      enabled(wk.od.config(), s.idx, s.rules);
+      const std::size_t m = s.idx.size();
+      if (m == 0) return 0;
+      SSR_ASSERT(m < 20, "enabled set size out of range");
+      active.set(c);
+      height_raw[c] = HeightTable::kEscapeTag;  // unfinalized sentinel
+      watch[c] = static_cast<std::uint32_t>(c);  // self = no watch yet
+      ++wk.active0;
+      wk.edges += (std::uint64_t{1} << m) - 1;
+      return m;
+    };
+    if (!compressed) {
+      for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) visit(c);
+      return;
+    }
+    // Chunks are kBlockBits-aligned and the store's block size divides
+    // kBlockBits, so every record block is owned by one worker.
+    for (std::uint64_t b = lo >> store.block_shift();
+         store.block_begin(b) < hi; ++b) {
+      std::uint16_t running = 0;
+      const std::uint64_t bend = std::min(hi, store.block_end(b));
+      for (std::uint64_t c = store.block_begin(b); c < bend;
+           ++c, wk.od.advance()) {
+        store.set_local_offset(c, running);
+        if (visit(c) == 0) continue;
+        std::uint32_t mask = 0;
+        for (std::size_t i : s.idx) mask |= std::uint32_t{1} << i;
+        running += static_cast<std::uint16_t>(rcodec.encoded_size(mask));
+      }
+      store.set_block_bytes(b, running);
+    }
+  });
+
+  if (compressed) {
+    store.finalize_layout();
+    // Encode pass: re-enumerate the active configurations and write each
+    // record into its precomputed slot.
+    pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                         std::uint64_t hi) {
+      Worker& wk = ws[w];
+      SweepScratch& s = wk.s;
+      wk.od.seek(lo);
+      for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+        if (height_raw[c] != HeightTable::kEscapeTag) continue;
+        enabled(wk.od.config(), s.idx, s.rules);
+        compute_digit_deltas(wk.od.config(), wk.od.digits(), s);
+        std::uint32_t mask = 0;
+        for (std::size_t i : s.idx) mask |= std::uint32_t{1} << i;
+        rcodec.encode(mask, s.digit_deltas.data(), store.slot(c));
+      }
+    });
+  }
+
+  std::uint64_t active0 = 0;
+  for (const Worker& wk : ws) active0 += wk.active0;
+
+  // The peel. Heights are u16 with kEscapeTag = unfinalized; cross-chunk
+  // reads/writes go through relaxed atomic_refs when parallel (the value
+  // read is never order-sensitive: anything written this round is >=
+  // round either way).
+  std::uint64_t finalized = 0;
+  std::uint32_t rounds_run = 0;
+  for (std::uint32_t round = 1; finalized < active0; ++round) {
+    SSR_REQUIRE(round < HeightTable::kEscapeTag - 1,
+                "convergence depth exceeds packed u16 heights; rerun with "
+                "PhaseBStorage::kLegacyCsr");
+    for (Worker& wk : ws) wk.finalized = 0;
+    pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                         std::uint64_t hi) {
+      Worker& wk = ws[w];
+      SweepScratch& s = wk.s;
+      if (s.digit_deltas.size() < n) s.digit_deltas.resize(n);
+      auto h_at = [&](std::uint64_t i) -> std::uint32_t {
+        return solo ? height_raw[i]
+                    : std::atomic_ref<std::uint16_t>(height_raw[i])
+                          .load(std::memory_order_relaxed);
+      };
+      active.for_each_set(lo, hi, [&](std::uint64_t c) {
+        // Watched-successor probe: if the remembered successor is still
+        // unfinalized (or finalized only this round), c cannot finalize
+        // this round — one height load, nothing decoded.
+        const std::uint32_t w0 = watch[c];
+        if (w0 != static_cast<std::uint32_t>(c) && h_at(w0) >= round) {
+          return;
+        }
+        // Per-process code deltas of c's enabled moves into s.deltas.
+        s.deltas.clear();
+        if (compressed) {
+          std::uint32_t mask = 0;
+          rcodec.decode(store.record_at(c), mask, s.digit_deltas.data());
+          std::size_t k = 0;
+          for (std::uint32_t bits = mask; bits != 0; bits &= bits - 1, ++k) {
+            const auto i =
+                static_cast<std::size_t>(std::countr_zero(bits));
+            s.deltas.push_back(
+                static_cast<std::int64_t>(s.digit_deltas[k]) *
+                static_cast<std::int64_t>(codec_.weight(i)));
+          }
+        } else {
+          wk.od.seek(c);
+          enabled(wk.od.config(), s.idx, s.rules);
+          compute_deltas(wk.od.config(), wk.od.digits(), s);
+        }
+        const std::size_t m = s.deltas.size();
+        // Full scan with early exit; the first still-blocked successor
+        // becomes the new watch.
+        const std::uint32_t subsets = std::uint32_t{1} << m;
+        if (s.sums.size() < subsets) s.sums.resize(subsets);
+        s.sums[0] = 0;
+        bool blocked = false;
+        for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+          s.sums[mask] =
+              s.sums[mask & (mask - 1)] +
+              s.deltas[static_cast<std::size_t>(std::countr_zero(mask))];
+          const auto sc = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(c) + s.sums[mask]);
+          if (h_at(sc) >= round) {
+            blocked = true;
+            // sc == c (a zero-delta subset) re-arms the "no watch"
+            // sentinel; such a self-loop blocks every round anyway.
+            watch[c] = static_cast<std::uint32_t>(sc);
+            break;
+          }
+        }
+        if (blocked) return;
+        // Every successor finalized in an earlier round; the deepest one
+        // at round - 1, so c's height is exactly this round.
+        if (solo) {
+          height_raw[c] = static_cast<std::uint16_t>(round);
+        } else {
+          std::atomic_ref<std::uint16_t>(height_raw[c])
+              .store(static_cast<std::uint16_t>(round),
+                     std::memory_order_relaxed);
+        }
+        active.clear(c);
+        ++wk.finalized;
+      });
+    });
+    std::uint64_t round_final = 0;
+    for (const Worker& wk : ws) round_final += wk.finalized;
+    if (round_final == 0) break;  // stalled: residue is an illegit cycle
+    finalized += round_final;
+    rounds_run = round;
+  }
+
+  if (finalized != active0) {
+    report.convergence_holds = false;
+    report.cycle_witness = active.find_first();
+  }
+
+  if (report.convergence_holds) {
+    pool.for_chunks(0, total, chunk,
+                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+                      Partial& p = ws[w].p;
+                      for (std::uint64_t c = lo; c < hi; ++c) {
+                        const std::uint32_t h = height_raw[c];
+                        if (h == 0) continue;
+                        if (h > p.max_height ||
+                            (h == p.max_height && c < p.max_height_at)) {
+                          p.max_height = h;
+                          p.max_height_at = c;
+                        }
+                      }
+                    });
+    std::uint32_t worst = 0;
+    std::uint64_t worst_at = UINT64_MAX;
+    for (const Worker& wk : ws) {
+      if (wk.p.max_height > worst ||
+          (wk.p.max_height == worst && wk.p.max_height_at < worst_at)) {
+        worst = wk.p.max_height;
+        worst_at = wk.p.max_height_at;
+      }
+    }
+    report.worst_case_steps = worst;
+    if (worst > 0) report.worst_case_witness = worst_at;
+  }
+
+  CheckStats& st = report.stats;
+  std::uint64_t edges = 0;
+  for (const Worker& wk : ws) edges += wk.edges;
+  st.edge_count = edges;
+  st.counts_bytes = watch.capacity() * sizeof(std::uint32_t);
+  st.offsets_bytes = compressed ? store.offset_bytes() : 0;
+  st.edges_bytes = compressed ? store.stream_bytes() : 0;
+  st.heights_bytes = height_raw.capacity() * sizeof(std::uint16_t);
+  st.frontier_bytes = active.bytes();
+  st.bytes_per_edge =
+      (compressed && edges != 0)
+          ? static_cast<double>(st.edges_bytes) / static_cast<double>(edges)
+          : 0.0;
+  st.rounds = report.convergence_holds
+                  ? static_cast<std::uint32_t>(report.worst_case_steps)
+                  : rounds_run;
+  st.measured_peak_bytes = st.lambda_bytes + st.counts_bytes +
+                           st.offsets_bytes + st.edges_bytes +
+                           st.heights_bytes + st.frontier_bytes;
+
+  if (report.convergence_holds && options.keep_heights) {
+    report.heights = HeightTable::adopt(std::move(height_raw));
+    st.escape_entries = report.heights.escape_entries();
+  }
 }
 
 }  // namespace ssr::verify

@@ -1,0 +1,469 @@
+// Memory-slim storage backing the model checker's Phase B (convergence by
+// reverse induction). Three cooperating pieces:
+//
+//  * MoveRecordCodec / MoveStore — the delta-compressed edge store. A
+//    successor differs from its base configuration only at the processes
+//    that moved, so the *entire* daemon fan-out of a configuration (all
+//    2^m - 1 subset choices) is recoverable from one per-source record:
+//    a varint mask of the positions whose digit changes, plus each
+//    changed position's signed digit delta packed in
+//    bit_width(2*(radix-1)) bits. Storage is O(moved digits) per source
+//    instead of O(4 bytes) per *edge* — for spaces where the mean enabled
+//    count is m, that is a ~2^m / record_bytes compression of the seed's
+//    predecessor CSR. Records are addressed by a two-level offset table
+//    (u64 base per block, u16 offset within the block), so random access
+//    during the peel costs two loads.
+//
+//  * HeightTable — the per-configuration worst-case-steps table, packed
+//    as dense u16 with a sparse u32 side table for values that do not fit
+//    (checked escape; heights beyond 65534 need a >64Ki-step chain, which
+//    only the legacy u32 path can produce).
+//
+//  * CheckStats + projected-peak formulas — per-structure byte telemetry
+//    and the memory model used to pick a storage mode *before* running:
+//    projections are upper bounds (they assume every record is maximal),
+//    so measured peaks always reconcile as measured <= projected.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/assert.hpp"
+
+namespace ssr::verify {
+
+// --- delta-compressed move records -----------------------------------------
+
+/// Encodes/decodes one per-source move record: LEB128 varint of the
+/// changed-position mask, then each changed position's digit delta
+/// (ordered by ascending position) packed LSB-first in
+/// bit_width(2*(radix-1)) bits with bias radix-1. A mask of 0 encodes a
+/// pure self-loop source (every enabled move preserves the code).
+class MoveRecordCodec {
+ public:
+  MoveRecordCodec() = default;
+  MoveRecordCodec(std::size_t n, std::uint64_t radix)
+      : n_(n),
+        bias_(static_cast<std::int32_t>(radix) - 1),
+        delta_bits_(static_cast<std::uint32_t>(
+            std::bit_width(2 * (radix - 1)))) {
+    SSR_REQUIRE(n >= 1 && n <= 32, "move records support 1..32 positions");
+    SSR_REQUIRE(radix >= 2, "radix must be at least 2");
+  }
+
+  std::size_t positions() const { return n_; }
+  std::uint32_t delta_bits() const { return delta_bits_; }
+
+  static std::size_t varint_size(std::uint32_t v) {
+    std::size_t s = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++s;
+    }
+    return s;
+  }
+
+  std::size_t encoded_size(std::uint32_t mask) const {
+    return varint_size(mask) +
+           (static_cast<std::size_t>(std::popcount(mask)) * delta_bits_ + 7) /
+               8;
+  }
+
+  std::size_t max_encoded_size() const {
+    const std::uint32_t full =
+        n_ == 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << n_) - 1;
+    return encoded_size(full);
+  }
+
+  /// Writes the record for (mask, deltas) at @p out; deltas holds one
+  /// signed digit delta per set mask bit, ascending position order, each
+  /// in [-(radix-1), radix-1]. Returns bytes written (<= max_encoded_size).
+  std::size_t encode(std::uint32_t mask, const std::int32_t* deltas,
+                     std::uint8_t* out) const {
+    std::uint8_t* p = out;
+    std::uint32_t v = mask;
+    while (v >= 0x80) {
+      *p++ = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    *p++ = static_cast<std::uint8_t>(v);
+    std::uint64_t acc = 0;
+    std::uint32_t acc_bits = 0;
+    const int count = std::popcount(mask);
+    for (int k = 0; k < count; ++k) {
+      const auto biased = static_cast<std::uint64_t>(deltas[k] + bias_);
+      acc |= biased << acc_bits;
+      acc_bits += delta_bits_;
+      while (acc_bits >= 8) {
+        *p++ = static_cast<std::uint8_t>(acc);
+        acc >>= 8;
+        acc_bits -= 8;
+      }
+    }
+    if (acc_bits > 0) *p++ = static_cast<std::uint8_t>(acc);
+    return static_cast<std::size_t>(p - out);
+  }
+
+  /// Decodes a record at @p in into (mask, deltas); deltas must have room
+  /// for popcount(mask) entries. Returns bytes consumed.
+  std::size_t decode(const std::uint8_t* in, std::uint32_t& mask,
+                     std::int32_t* deltas) const {
+    const std::uint8_t* p = in;
+    std::uint32_t v = 0;
+    std::uint32_t shift = 0;
+    for (;;) {
+      const std::uint8_t byte = *p++;
+      v |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    mask = v;
+    std::uint64_t acc = 0;
+    std::uint32_t acc_bits = 0;
+    const std::uint64_t delta_mask = (std::uint64_t{1} << delta_bits_) - 1;
+    const int count = std::popcount(mask);
+    for (int k = 0; k < count; ++k) {
+      while (acc_bits < delta_bits_) {
+        acc |= static_cast<std::uint64_t>(*p++) << acc_bits;
+        acc_bits += 8;
+      }
+      deltas[k] = static_cast<std::int32_t>(acc & delta_mask) - bias_;
+      acc >>= delta_bits_;
+      acc_bits -= delta_bits_;
+    }
+    return static_cast<std::size_t>(p - in);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::int32_t bias_ = 0;
+  std::uint32_t delta_bits_ = 0;
+};
+
+/// Block shift shared by MoveStore and the peak projection: at most 12
+/// (4096 configs/block, so peel chunks aligned to
+/// TwoLevelBitset::kBlockBits cover whole blocks), shrunk until a block of
+/// maximal records fits the u16 local offsets.
+inline std::uint32_t move_store_block_shift(std::size_t max_record) {
+  std::uint32_t shift = 12;
+  while (shift > 0 && (std::uint64_t{1} << shift) * max_record > 65535) {
+    --shift;
+  }
+  SSR_REQUIRE((std::uint64_t{1} << shift) * max_record <= 65535,
+              "move record too large for two-level offsets");
+  return shift;
+}
+
+/// Random-access container of per-source move records. Layout is fixed by
+/// configuration index alone (never by thread schedule): records live in
+/// one byte stream, addressed as block_base[c >> shift] + local_off[c].
+class MoveStore {
+ public:
+  MoveStore() = default;
+
+  void prepare(std::uint64_t total, const MoveRecordCodec& codec) {
+    total_ = total;
+    block_shift_ = move_store_block_shift(codec.max_encoded_size());
+    local_off_.assign(total, 0);
+    block_base_.assign(block_count() + 1, 0);
+  }
+
+  std::uint32_t block_shift() const { return block_shift_; }
+  std::uint64_t block_count() const {
+    return total_ == 0 ? 0 : ((total_ - 1) >> block_shift_) + 1;
+  }
+  std::uint64_t block_begin(std::uint64_t b) const { return b << block_shift_; }
+  std::uint64_t block_end(std::uint64_t b) const {
+    return std::min(total_, (b + 1) << block_shift_);
+  }
+
+  /// Pass 1 writers: per-config local offset and per-block byte size.
+  /// Each block must be written by exactly one worker.
+  void set_local_offset(std::uint64_t c, std::uint16_t off) {
+    local_off_[c] = off;
+  }
+  void set_block_bytes(std::uint64_t b, std::uint64_t bytes) {
+    block_base_[b + 1] = bytes;
+  }
+
+  /// After pass 1: prefix-sums the block sizes and allocates the stream.
+  void finalize_layout() {
+    for (std::uint64_t b = 0; b < block_count(); ++b) {
+      block_base_[b + 1] += block_base_[b];
+    }
+    stream_.assign(block_base_[block_count()], 0);
+  }
+
+  std::uint8_t* slot(std::uint64_t c) {
+    return stream_.data() + block_base_[c >> block_shift_] + local_off_[c];
+  }
+  const std::uint8_t* record_at(std::uint64_t c) const {
+    return stream_.data() + block_base_[c >> block_shift_] + local_off_[c];
+  }
+
+  std::uint64_t stream_bytes() const { return stream_.size(); }
+  std::uint64_t offset_bytes() const {
+    return local_off_.capacity() * sizeof(std::uint16_t) +
+           block_base_.capacity() * sizeof(std::uint64_t);
+  }
+
+  void release() {
+    stream_ = {};
+    local_off_ = {};
+    block_base_ = {};
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint32_t block_shift_ = 12;
+  std::vector<std::uint8_t> stream_;
+  std::vector<std::uint16_t> local_off_;
+  std::vector<std::uint64_t> block_base_;
+};
+
+// --- packed heights --------------------------------------------------------
+
+/// Per-configuration height (exact worst-case steps to Lambda), packed as
+/// dense u16 plus a sparse ordered side table for values >= 65535. The
+/// report-facing replacement for the seed's 4-byte-per-config vector.
+class HeightTable {
+ public:
+  static constexpr std::uint16_t kEscapeTag = 0xFFFF;
+
+  HeightTable() = default;
+
+  /// Packs a legacy u32 table (values >= kEscapeTag go to the side table).
+  static HeightTable pack(const std::vector<std::uint32_t>& heights) {
+    HeightTable t;
+    t.dense_.resize(heights.size());
+    for (std::uint64_t c = 0; c < heights.size(); ++c) {
+      if (heights[c] >= kEscapeTag) {
+        t.dense_[c] = kEscapeTag;
+        t.escape_[c] = heights[c];
+      } else {
+        t.dense_[c] = static_cast<std::uint16_t>(heights[c]);
+      }
+    }
+    return t;
+  }
+
+  /// Adopts a dense u16 table that is already escape-free (the packed
+  /// Phase B peel guarantees heights < kEscapeTag).
+  static HeightTable adopt(std::vector<std::uint16_t> dense) {
+    HeightTable t;
+    t.dense_ = std::move(dense);
+    return t;
+  }
+
+  void assign(std::uint64_t size, std::uint32_t value) {
+    escape_.clear();
+    if (value >= kEscapeTag) {
+      dense_.assign(size, kEscapeTag);
+      for (std::uint64_t c = 0; c < size; ++c) escape_[c] = value;
+    } else {
+      dense_.assign(size, static_cast<std::uint16_t>(value));
+    }
+  }
+
+  void set(std::uint64_t i, std::uint32_t v) {
+    if (v >= kEscapeTag) {
+      dense_[i] = kEscapeTag;
+      escape_[i] = v;
+    } else {
+      dense_[i] = static_cast<std::uint16_t>(v);
+      escape_.erase(i);
+    }
+  }
+
+  std::uint32_t operator[](std::uint64_t i) const {
+    const std::uint16_t v = dense_[i];
+    return v != kEscapeTag ? v : escape_.at(i);
+  }
+
+  std::uint64_t size() const { return dense_.size(); }
+  bool empty() const { return dense_.empty(); }
+  std::uint64_t escape_entries() const { return escape_.size(); }
+
+  std::uint64_t bytes() const {
+    // Ordered-map nodes cost ~3 pointers + color + key + value each.
+    return dense_.capacity() * sizeof(std::uint16_t) +
+           escape_.size() * (sizeof(void*) * 4 + sizeof(std::uint64_t) +
+                             sizeof(std::uint32_t));
+  }
+
+  friend bool operator==(const HeightTable& a, const HeightTable& b) {
+    return a.dense_ == b.dense_ && a.escape_ == b.escape_;
+  }
+
+ private:
+  std::vector<std::uint16_t> dense_;
+  std::map<std::uint64_t, std::uint32_t> escape_;
+};
+
+// --- storage modes, projections, telemetry ---------------------------------
+
+/// Phase B storage backend. kAuto picks the cheapest mode whose projected
+/// peak fits the memory budget (compressed first, then CSR-free) and
+/// throws a projected-memory error if none fits.
+enum class PhaseBStorage { kAuto, kLegacyCsr, kCompressed, kCsrFree };
+
+inline const char* to_string(PhaseBStorage m) {
+  switch (m) {
+    case PhaseBStorage::kAuto: return "auto";
+    case PhaseBStorage::kLegacyCsr: return "legacy-csr";
+    case PhaseBStorage::kCompressed: return "compressed";
+    case PhaseBStorage::kCsrFree: return "csr-free";
+  }
+  return "?";
+}
+
+/// Per-run memory/edge telemetry (`ssring check --stats`,
+/// `bench_modelcheck`). Byte counts are analytic high-water marks of the
+/// named structures, not RSS; projected_peak_bytes is the upper-bound
+/// estimate mode selection used, so measured_peak_bytes <= projected
+/// always holds for the mode actually run.
+struct CheckStats {
+  PhaseBStorage mode = PhaseBStorage::kAuto;  ///< mode actually run
+  std::uint64_t memory_budget_bytes = 0;
+  std::uint64_t projected_peak_bytes = 0;
+  std::uint64_t measured_peak_bytes = 0;
+  std::uint64_t edge_count = 0;    ///< daemon step edges: sum of 2^m - 1
+  double bytes_per_edge = 0.0;     ///< edge-storage bytes / edge_count
+  std::uint32_t rounds = 0;        ///< reverse-induction rounds (max height)
+  std::uint64_t lambda_bytes = 0;  ///< Lambda membership bitset
+  std::uint64_t counts_bytes = 0;  ///< pending/rcount (legacy) or watch (new)
+  std::uint64_t offsets_bytes = 0; ///< CSR offsets / two-level record offsets
+  std::uint64_t edges_bytes = 0;   ///< predecessor CSR / record stream
+  std::uint64_t heights_bytes = 0; ///< height table
+  std::uint64_t frontier_bytes = 0;///< frontier vectors / active bitset
+  std::uint64_t escape_entries = 0;///< sparse side-table entries taken
+  std::string summary() const;
+};
+
+/// Bytes of a TwoLevelBitset over @p total indices.
+inline std::uint64_t projected_bitset_bytes(std::uint64_t total) {
+  const std::uint64_t words = (total + 63) / 64;
+  return (words + (words + 63) / 64) * 8;
+}
+
+/// Upper bound on the compressed mode's Phase B peak: Lambda + active
+/// bitsets, two-level offsets, a maximal record per configuration, and
+/// the u16 watch and height tables.
+inline std::uint64_t projected_compressed_bytes(std::uint64_t total,
+                                                std::size_t n,
+                                                std::uint64_t radix) {
+  const MoveRecordCodec codec(n, radix);
+  const std::uint32_t shift = move_store_block_shift(codec.max_encoded_size());
+  const std::uint64_t blocks = total == 0 ? 0 : ((total - 1) >> shift) + 1;
+  return 2 * projected_bitset_bytes(total) +            // Lambda + active
+         2 * total + 8 * (blocks + 1) +                 // record offsets
+         total * codec.max_encoded_size() +             // record stream
+         4 * total +                                    // u32 watch table
+         2 * total;                                     // heights
+}
+
+/// Upper bound on the CSR-free mode's Phase B peak: no edge storage at
+/// all, just the bitsets, the u32 watch table and the u16 heights.
+inline std::uint64_t projected_csrfree_bytes(std::uint64_t total) {
+  return 2 * projected_bitset_bytes(total) + 4 * total + 2 * total;
+}
+
+/// The legacy CSR's peak for a measured edge count (reported for
+/// comparison; edges are unknown before a run, so auto never projects
+/// this mode).
+inline std::uint64_t projected_legacy_bytes(std::uint64_t total,
+                                            std::uint64_t edges) {
+  return projected_bitset_bytes(total) +  // Lambda
+         4 * total +                      // pending
+         4 * total +                      // rcount
+         8 * (total + 1) +                // roffsets
+         4 * edges +                      // redges
+         4 * total +                      // heights (u32)
+         8 * total;                       // frontier vectors, worst case
+}
+
+/// Default Phase B memory budget: SSRING_CHECK_MEMORY_BUDGET (bytes) if
+/// set, else 3/4 of physical RAM, else 8 GiB.
+inline std::uint64_t default_memory_budget() {
+  if (const char* env = std::getenv("SSRING_CHECK_MEMORY_BUDGET")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page = sysconf(_SC_PAGE_SIZE);
+  if (pages > 0 && page > 0) {
+    return static_cast<std::uint64_t>(pages) *
+           static_cast<std::uint64_t>(page) / 4 * 3;
+  }
+#endif
+  return std::uint64_t{8} << 30;
+}
+
+/// Resolves the storage mode. For kAuto, picks compressed if its
+/// projected peak fits @p budget, else CSR-free, else throws the
+/// projected-memory error (the successor of the seed's hard 2^33 cap).
+/// An explicitly requested mode is also checked against the budget so the
+/// error can name the mode that *would* fit. Returns the resolved mode
+/// and stores the projection used in @p projected_out.
+inline PhaseBStorage select_phaseb_storage(PhaseBStorage requested,
+                                           std::uint64_t total, std::size_t n,
+                                           std::uint64_t radix,
+                                           std::uint64_t budget,
+                                           std::uint64_t* projected_out) {
+  const std::uint64_t proj_comp = projected_compressed_bytes(total, n, radix);
+  const std::uint64_t proj_free = projected_csrfree_bytes(total);
+  auto err = [&](const std::string& head) {
+    std::string fits;
+    if (proj_comp <= budget) fits = "compressed mode would fit";
+    else if (proj_free <= budget) fits = "csr-free mode would fit";
+    else fits = "no storage mode fits; reduce n or K, raise the memory "
+                "budget, or disable the convergence check";
+    SSR_REQUIRE(false, head + " (projected compressed=" +
+                           std::to_string(proj_comp) +
+                           " bytes, csr-free=" + std::to_string(proj_free) +
+                           " bytes, budget=" + std::to_string(budget) +
+                           " bytes; " + fits + ")");
+  };
+  switch (requested) {
+    case PhaseBStorage::kAuto:
+      if (proj_comp <= budget) {
+        *projected_out = proj_comp;
+        return PhaseBStorage::kCompressed;
+      }
+      if (proj_free <= budget) {
+        *projected_out = proj_free;
+        return PhaseBStorage::kCsrFree;
+      }
+      err("configuration space exceeds the Phase B memory budget");
+      break;
+    case PhaseBStorage::kCompressed:
+      if (proj_comp > budget) {
+        err("compressed Phase B storage exceeds the memory budget");
+      }
+      *projected_out = proj_comp;
+      return PhaseBStorage::kCompressed;
+    case PhaseBStorage::kCsrFree:
+      if (proj_free > budget) {
+        err("csr-free Phase B storage exceeds the memory budget");
+      }
+      *projected_out = proj_free;
+      return PhaseBStorage::kCsrFree;
+    case PhaseBStorage::kLegacyCsr:
+      // Edge count is unknown before the run; the legacy baseline is
+      // always honored as requested and its peak reported after the fact.
+      *projected_out = 0;
+      return PhaseBStorage::kLegacyCsr;
+  }
+  return requested;  // unreachable
+}
+
+}  // namespace ssr::verify

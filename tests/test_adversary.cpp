@@ -67,6 +67,32 @@ TEST(Adversary, ReplayRealizesPredictedWorstCaseN4) {
   EXPECT_TRUE(replay.potential_decreased_by_one);
 }
 
+TEST(Adversary, PackedHeightsDriveIdenticalReplaysInEveryStorageMode) {
+  // Regression for the packed (u16 + sparse escape) height table: the
+  // height-greedy replay must realize the same worst case whichever Phase
+  // B backend produced the table.
+  auto checker = make_ssrmin_checker(3, 4);
+  CheckOptions options;
+  options.keep_heights = true;
+  std::vector<std::uint64_t> paths_seen;
+  for (PhaseBStorage storage :
+       {PhaseBStorage::kLegacyCsr, PhaseBStorage::kCompressed,
+        PhaseBStorage::kCsrFree}) {
+    options.storage = storage;
+    const CheckReport report = checker.run(options);
+    ASSERT_TRUE(report.all_ok()) << to_string(storage);
+    ASSERT_EQ(report.heights.escape_entries(), 0u) << to_string(storage);
+    const std::uint64_t worst = worst_configuration(report);
+    const ReplayResult replay = replay_worst_execution(checker, report, worst);
+    EXPECT_EQ(replay.steps, report.worst_case_steps) << to_string(storage);
+    EXPECT_TRUE(replay.potential_decreased_by_one) << to_string(storage);
+    paths_seen.push_back(worst);
+  }
+  // All three backends agree on the worst configuration itself.
+  EXPECT_EQ(paths_seen[0], paths_seen[1]);
+  EXPECT_EQ(paths_seen[0], paths_seen[2]);
+}
+
 TEST(Adversary, LegitimateStartReplaysZeroSteps) {
   auto checker = make_ssrmin_checker(3, 4);
   CheckOptions options;

@@ -33,9 +33,12 @@ TEST(KStateCommand, BottomIncrementsOthersCopy) {
   EXPECT_EQ(kstate_command(3, 2, 5), 2u);
 }
 
-TEST(KStateRing, RequiresKGreaterThanN) {
-  EXPECT_THROW(KStateRing(5, 5), std::invalid_argument);
+TEST(KStateRing, RequiresKAtLeastN) {
+  // Dijkstra's proof assumes K > n, but Hoepman showed the K = n boundary
+  // still stabilizes on a ring, so the constructor admits it (and the
+  // exhaustive checker verifies it for small n).
   EXPECT_THROW(KStateRing(5, 4), std::invalid_argument);
+  EXPECT_NO_THROW(KStateRing(5, 5));
   EXPECT_NO_THROW(KStateRing(5, 6));
 }
 

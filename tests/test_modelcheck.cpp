@@ -103,6 +103,37 @@ TEST(ModelCheck, DijkstraN4K5) {
             dijkstra::convergence_step_bound(4) + 3 * 4);
 }
 
+TEST(ModelCheck, DijkstraHoepmanBoundaryKEqualsN) {
+  // Hoepman: Dijkstra's ring stabilizes "even if K = N". The exhaustive
+  // check confirms the boundary, and the worst cases are identical to the
+  // K = n + 1 goldens — the extra state buys no adversarial depth.
+  CheckOptions dij;
+  dij.min_privileged = 1;
+  dij.max_privileged = 1;
+  const CheckReport r44 = make_kstate_checker(4, 4).run(dij);
+  EXPECT_TRUE(r44.all_ok()) << r44.summary();
+  EXPECT_EQ(r44.worst_case_steps, 14u);
+  const CheckReport r55 = make_kstate_checker(5, 5).run(dij);
+  EXPECT_TRUE(r55.all_ok()) << r55.summary();
+  EXPECT_EQ(r55.worst_case_steps, 25u);
+  const CheckReport r66 = make_kstate_checker(6, 6).run(dij);
+  EXPECT_TRUE(r66.all_ok()) << r66.summary();
+  EXPECT_EQ(r66.worst_case_steps, 39u);
+}
+
+TEST(ModelCheck, StatsSummaryMentionsKeyFields) {
+  auto checker = make_ssrmin_checker(3, 4);
+  const CheckReport report = checker.run();
+  const std::string s = report.stats.summary();
+  EXPECT_NE(s.find("phase_b_storage="), std::string::npos);
+  EXPECT_NE(s.find("projected_peak="), std::string::npos);
+  EXPECT_NE(s.find("measured_peak="), std::string::npos);
+  EXPECT_NE(s.find("bytes_per_edge="), std::string::npos);
+  EXPECT_NE(s.find("rounds="), std::string::npos);
+  EXPECT_EQ(report.stats.rounds, report.worst_case_steps);
+  EXPECT_GT(report.stats.edge_count, 0u);
+}
+
 TEST(ModelCheck, OptionsSkipConvergence) {
   auto checker = make_ssrmin_checker(3, 4);
   CheckOptions options;

@@ -1,15 +1,19 @@
 // The parallel checker's contract: CheckReport is bit-identical at every
-// thread count — same witnesses, same worst case, same height table. The
-// differential tests below pin that by running every covered (n, K) at 1,
-// 2 and 8 workers (1 exercises the solo fast path, the others the shared
-// atomic counters), plus unit tests for the underlying ThreadPool.
+// thread count AND in every Phase B storage mode — same witnesses, same
+// worst case, same height table. The differential tests below pin that by
+// running every covered (n, K) in all three storage backends (legacy CSR,
+// compressed move records, CSR-free) at 1, 2 and 8 workers (1 exercises
+// the solo fast path, the others the shared atomic counters), plus unit
+// tests for the underlying ThreadPool.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -105,12 +109,27 @@ void check_thread_invariance(const Checker& checker,
                              verify::CheckOptions options, const char* what) {
   options.keep_heights = true;
   options.threads = 1;
-  const verify::CheckReport sequential = checker.run(options);
-  EXPECT_TRUE(sequential.all_ok()) << what;
-  EXPECT_FALSE(sequential.heights.empty()) << what;
-  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
-    options.threads = threads;
-    expect_identical(sequential, checker.run(options), what);
+  options.storage = verify::PhaseBStorage::kLegacyCsr;
+  const verify::CheckReport baseline = checker.run(options);
+  EXPECT_TRUE(baseline.all_ok()) << what;
+  EXPECT_FALSE(baseline.heights.empty()) << what;
+  for (verify::PhaseBStorage storage : {verify::PhaseBStorage::kLegacyCsr,
+                                        verify::PhaseBStorage::kCompressed,
+                                        verify::PhaseBStorage::kCsrFree}) {
+    options.storage = storage;
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      if (storage == verify::PhaseBStorage::kLegacyCsr && threads == 1) {
+        continue;  // the baseline itself
+      }
+      options.threads = threads;
+      const verify::CheckReport got = checker.run(options);
+      std::string label = std::string(what) + " storage=" +
+                          verify::to_string(storage) +
+                          " threads=" + std::to_string(threads);
+      expect_identical(baseline, got, label.c_str());
+      EXPECT_EQ(got.stats.mode, storage) << label;
+    }
   }
 }
 
@@ -134,6 +153,26 @@ TEST(ModelCheckParallel, DijkstraReportsAreThreadCountInvariant) {
                           "dijkstra(4,5)");
   check_thread_invariance(verify::make_kstate_checker(5, 6), options,
                           "dijkstra(5,6)");
+}
+
+TEST(ModelCheckParallel, BigSpacesAreModeAndThreadInvariant) {
+  // The acceptance-sized differential: ssrmin(5,6) (8M configs),
+  // dijkstra(6,7) and dijkstra(8,9) (43M configs) in every storage mode
+  // at 1/2/8 workers, heights included. Gated behind SSRING_TEST_BIG=1
+  // because the 27 full checks take tens of minutes on modest hardware.
+  if (std::getenv("SSRING_TEST_BIG") == nullptr) {
+    GTEST_SKIP() << "set SSRING_TEST_BIG=1 to run the large differential";
+  }
+  verify::CheckOptions ssr_options;
+  check_thread_invariance(verify::make_ssrmin_checker(5, 6), ssr_options,
+                          "ssrmin(5,6)");
+  verify::CheckOptions dij_options;
+  dij_options.min_privileged = 1;
+  dij_options.max_privileged = 1;
+  check_thread_invariance(verify::make_kstate_checker(6, 7), dij_options,
+                          "dijkstra(6,7)");
+  check_thread_invariance(verify::make_kstate_checker(8, 9), dij_options,
+                          "dijkstra(8,9)");
 }
 
 TEST(ModelCheckParallel, DefaultThreadsMatchesSequential) {

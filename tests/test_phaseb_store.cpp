@@ -1,0 +1,306 @@
+// Unit tests for the slim Phase B storage primitives: the varint move
+// record codec (round-trip + fuzz), the two-level MoveStore layout, the
+// packed HeightTable with its sparse escape, the TwoLevelBitset, and the
+// projected-memory mode-selection guard that replaced the old hard cap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/packed_bitset.hpp"
+#include "util/rng.hpp"
+#include "verify/checkers.hpp"
+#include "verify/phaseb_store.hpp"
+
+namespace {
+
+using namespace ssr;
+using verify::HeightTable;
+using verify::MoveRecordCodec;
+using verify::MoveStore;
+using verify::PhaseBStorage;
+
+// --- MoveRecordCodec -------------------------------------------------------
+
+TEST(MoveRecordCodec, RoundTripsHandPickedRecords) {
+  const MoveRecordCodec codec(5, 24);  // ssrmin(5, K=6): radix 4K = 24
+  EXPECT_EQ(codec.delta_bits(), 6u);   // bit_width(2 * 23) = 6
+
+  struct Case {
+    std::uint32_t mask;
+    std::vector<std::int32_t> deltas;
+  };
+  const Case cases[] = {
+      {0b00001, {5}},
+      {0b10001, {-23, 23}},
+      {0b01110, {0, -1, 1}},   // zero delta (state-preserving rule) kept
+      {0b11111, {-23, -1, 0, 1, 23}},
+  };
+  std::uint8_t buf[64];
+  for (const Case& c : cases) {
+    const std::size_t written = codec.encode(c.mask, c.deltas.data(), buf);
+    EXPECT_EQ(written, codec.encoded_size(c.mask));
+    EXPECT_LE(written, codec.max_encoded_size());
+    std::uint32_t mask = 0;
+    std::int32_t deltas[32];
+    const std::size_t read = codec.decode(buf, mask, deltas);
+    EXPECT_EQ(read, written);
+    EXPECT_EQ(mask, c.mask);
+    for (std::size_t k = 0; k < c.deltas.size(); ++k) {
+      EXPECT_EQ(deltas[k], c.deltas[k]) << "bit " << k;
+    }
+  }
+}
+
+TEST(MoveRecordCodec, FuzzRoundTripAcrossSizesAndRadixes) {
+  Rng rng(20260806);
+  std::uint8_t buf[64];
+  std::int32_t out[32];
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t n = 1 + rng.below(32);
+    const std::uint64_t radix = 2 + rng.below(64);
+    const MoveRecordCodec codec(n, radix);
+    std::uint32_t mask = 0;
+    std::vector<std::int32_t> deltas;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.below(2) == 0) continue;
+      mask |= std::uint32_t{1} << i;
+      deltas.push_back(static_cast<std::int32_t>(rng.below(2 * radix - 1)) -
+                       static_cast<std::int32_t>(radix - 1));
+    }
+    const std::size_t written = codec.encode(mask, deltas.data(), buf);
+    ASSERT_EQ(written, codec.encoded_size(mask));
+    ASSERT_LE(written, codec.max_encoded_size());
+    std::uint32_t got_mask = 0;
+    const std::size_t read = codec.decode(buf, got_mask, out);
+    ASSERT_EQ(read, written);
+    ASSERT_EQ(got_mask, mask);
+    for (std::size_t k = 0; k < deltas.size(); ++k) {
+      ASSERT_EQ(out[k], deltas[k]) << "iter " << iter << " slot " << k;
+    }
+  }
+}
+
+TEST(MoveRecordCodec, RejectsUnsupportedShapes) {
+  EXPECT_THROW(MoveRecordCodec(0, 4), std::invalid_argument);
+  EXPECT_THROW(MoveRecordCodec(33, 4), std::invalid_argument);
+  EXPECT_THROW(MoveRecordCodec(4, 1), std::invalid_argument);
+}
+
+// --- MoveStore -------------------------------------------------------------
+
+TEST(MoveStore, TwoLevelOffsetsAddressEveryRecord) {
+  const MoveRecordCodec codec(4, 8);
+  MoveStore store;
+  store.prepare(10000, codec);
+  EXPECT_EQ(store.block_shift(), 12u);
+
+  // Give config c a record of size (c % 5): sizes vary within blocks.
+  auto size_of = [](std::uint64_t c) {
+    return static_cast<std::uint16_t>(c % 5);
+  };
+  for (std::uint64_t b = 0; b < store.block_count(); ++b) {
+    std::uint16_t running = 0;
+    for (std::uint64_t c = store.block_begin(b); c < store.block_end(b); ++c) {
+      store.set_local_offset(c, running);
+      running = static_cast<std::uint16_t>(running + size_of(c));
+    }
+    store.set_block_bytes(b, running);
+  }
+  store.finalize_layout();
+  // Write each record's first byte as a fingerprint, then check
+  // record_at() finds it and consecutive records never overlap.
+  for (std::uint64_t c = 0; c < 10000; ++c) {
+    if (size_of(c) == 0) continue;
+    *store.slot(c) = static_cast<std::uint8_t>(c * 37 % 251);
+  }
+  for (std::uint64_t c = 0; c < 10000; ++c) {
+    if (size_of(c) == 0) continue;
+    EXPECT_EQ(*store.record_at(c), static_cast<std::uint8_t>(c * 37 % 251))
+        << "config " << c;
+    if (c + 1 < 10000 && (c + 1) % 4096 != 0) {
+      EXPECT_EQ(store.record_at(c) + size_of(c), store.record_at(c + 1));
+    }
+  }
+  EXPECT_GT(store.stream_bytes(), 0u);
+  EXPECT_GT(store.offset_bytes(), 0u);
+}
+
+TEST(MoveStore, ShrinksBlockShiftForHugeRecords) {
+  // n = 32, radix 64: delta_bits = 7, max record = 1 + varint(2^32-1 mask
+  // bytes)... encoded mask of 32 bits needs 5 varint bytes, deltas 28
+  // bytes -> 33 bytes/record. 4096 * 33 > 65535, so the shift must drop.
+  const MoveRecordCodec codec(32, 64);
+  MoveStore store;
+  store.prepare(100000, codec);
+  EXPECT_LT(store.block_shift(), 12u);
+  EXPECT_LE((std::uint64_t{1} << store.block_shift()) *
+                codec.max_encoded_size(),
+            65535u);
+}
+
+// --- HeightTable -----------------------------------------------------------
+
+TEST(HeightTable, PackRoundTripsWithSparseEscape) {
+  std::vector<std::uint32_t> raw = {0, 1, 65534, 65535, 1u << 20, 7};
+  const HeightTable t = HeightTable::pack(raw);
+  ASSERT_EQ(t.size(), raw.size());
+  for (std::uint64_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(t[i], raw[i]) << "index " << i;
+  }
+  EXPECT_EQ(t.escape_entries(), 2u);  // 65535 and 2^20 escape
+
+  HeightTable u;
+  u.assign(raw.size(), 0);
+  for (std::uint64_t i = 0; i < raw.size(); ++i) u.set(i, raw[i]);
+  EXPECT_TRUE(t == u);
+  u.set(2, 3);
+  EXPECT_FALSE(t == u);
+}
+
+TEST(HeightTable, AdoptedDenseTableHasNoEscapes) {
+  const HeightTable t = HeightTable::adopt({0, 7, 43, 16});
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[2], 43u);
+  EXPECT_EQ(t.escape_entries(), 0u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(HeightTable().empty());
+}
+
+// --- TwoLevelBitset --------------------------------------------------------
+
+TEST(TwoLevelBitset, SetTestClearCountFindFirst) {
+  util::TwoLevelBitset bits(100000);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_EQ(bits.find_first(), 100000u);
+  for (std::uint64_t i : {0ull, 63ull, 64ull, 4095ull, 4096ull, 99999ull}) {
+    bits.set(i);
+  }
+  EXPECT_EQ(bits.count(), 6u);
+  EXPECT_EQ(bits.find_first(), 0u);
+  EXPECT_TRUE(bits.test(4095));
+  EXPECT_FALSE(bits.test(4094));
+  bits.clear(0);
+  EXPECT_EQ(bits.find_first(), 63u);
+  EXPECT_EQ(bits.count(), 5u);
+}
+
+TEST(TwoLevelBitset, ForEachSetVisitsExactlyTheSetBits) {
+  util::TwoLevelBitset bits(50000);
+  std::vector<std::uint64_t> want;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t idx = rng.below(50000);
+    if (!bits.test(idx)) {
+      bits.set(idx);
+      want.push_back(idx);
+    }
+  }
+  std::sort(want.begin(), want.end());
+  std::vector<std::uint64_t> got;
+  bits.for_each_set(0, bits.size(), [&](std::uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+
+  // Range-restricted scan with unaligned bounds.
+  std::vector<std::uint64_t> ranged;
+  bits.for_each_set(1000, 49000,
+                    [&](std::uint64_t i) { ranged.push_back(i); });
+  std::vector<std::uint64_t> want_ranged;
+  for (std::uint64_t i : want) {
+    if (i >= 1000 && i < 49000) want_ranged.push_back(i);
+  }
+  EXPECT_EQ(ranged, want_ranged);
+
+  // The peel pattern: clearing while iterating drains the set, and a
+  // second sweep over the (summary-reconciled) empty bitset sees nothing.
+  bits.for_each_set(0, bits.size(), [&](std::uint64_t i) { bits.clear(i); });
+  EXPECT_EQ(bits.count(), 0u);
+  bool any = false;
+  bits.for_each_set(0, bits.size(), [&](std::uint64_t) { any = true; });
+  EXPECT_FALSE(any);
+}
+
+// --- projections + mode selection ------------------------------------------
+
+TEST(PhaseBSelection, AutoPicksCompressedWhenItFits) {
+  std::uint64_t projected = 0;
+  const PhaseBStorage mode = verify::select_phaseb_storage(
+      PhaseBStorage::kAuto, 1 << 20, 5, 24, std::uint64_t{1} << 30,
+      &projected);
+  EXPECT_EQ(mode, PhaseBStorage::kCompressed);
+  EXPECT_EQ(projected, verify::projected_compressed_bytes(1 << 20, 5, 24));
+  EXPECT_LE(projected, std::uint64_t{1} << 30);
+}
+
+TEST(PhaseBSelection, AutoFallsBackToCsrFreeUnderPressure) {
+  const std::uint64_t total = 1 << 20;
+  // A budget between the two projections forces the fallback.
+  const std::uint64_t comp = verify::projected_compressed_bytes(total, 5, 24);
+  const std::uint64_t free = verify::projected_csrfree_bytes(total);
+  ASSERT_LT(free, comp);
+  std::uint64_t projected = 0;
+  const PhaseBStorage mode = verify::select_phaseb_storage(
+      PhaseBStorage::kAuto, total, 5, 24, (comp + free) / 2, &projected);
+  EXPECT_EQ(mode, PhaseBStorage::kCsrFree);
+  EXPECT_EQ(projected, free);
+}
+
+TEST(PhaseBSelection, ErrorNamesProjectedBytesAndFittingMode) {
+  const std::uint64_t total = 1 << 20;
+  const std::uint64_t comp = verify::projected_compressed_bytes(total, 5, 24);
+  const std::uint64_t free = verify::projected_csrfree_bytes(total);
+  std::uint64_t projected = 0;
+  // Requesting compressed under a budget only csr-free fits must say so.
+  try {
+    verify::select_phaseb_storage(PhaseBStorage::kCompressed, total, 5, 24,
+                                  (comp + free) / 2, &projected);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("csr-free mode would fit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(comp)), std::string::npos) << msg;
+  }
+  // Nothing fits: the error names both projections and asks to shrink.
+  try {
+    verify::select_phaseb_storage(PhaseBStorage::kAuto, total, 5, 24,
+                                  free / 2, &projected);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no storage mode fits"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reduce n or K"), std::string::npos) << msg;
+  }
+}
+
+TEST(PhaseBSelection, CheckerRunHonorsTheBudgetGuard) {
+  // End to end: a run with an impossible budget throws the projected-
+  // memory error instead of the old hard 2^33 cap, and a sweep-only run
+  // (no convergence pass) is exempt.
+  auto checker = verify::make_ssrmin_checker(3, 4);
+  verify::CheckOptions options;
+  options.memory_budget_bytes = 1;  // nothing fits in one byte
+  EXPECT_THROW(checker.run(options), std::invalid_argument);
+  options.check_convergence = false;
+  EXPECT_NO_THROW(checker.run(options));
+}
+
+TEST(PhaseBSelection, MeasuredPeakReconcilesWithProjection) {
+  // The projection is an upper bound for the mode actually run: measured
+  // peak <= projected peak, for both slim backends.
+  auto checker = verify::make_ssrmin_checker(4, 5);
+  verify::CheckOptions options;
+  for (PhaseBStorage storage :
+       {PhaseBStorage::kCompressed, PhaseBStorage::kCsrFree}) {
+    options.storage = storage;
+    const verify::CheckReport report = checker.run(options);
+    EXPECT_GT(report.stats.measured_peak_bytes, 0u);
+    EXPECT_LE(report.stats.measured_peak_bytes,
+              report.stats.projected_peak_bytes)
+        << verify::to_string(storage);
+    EXPECT_GT(report.stats.edge_count, 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Guard the checked-in bench trajectories.
+
+Every ``BENCH_*.json`` file named in CHANGES.md is a commitment: the
+repo root must contain it, it must parse as JSON, and it must hold at
+least one row (a non-empty list of objects, or a dict with a non-empty
+``rows`` list — both shapes TextTable::to_json has emitted). A bench
+rerun that crashed half-way or wrote somewhere else fails CI here
+instead of silently shipping a stale or missing trajectory.
+
+Usage: python3 tools/check_bench_json.py [repo_root]
+Exit code 0 if every named trajectory is present and parsable, 1
+otherwise (with one line per problem on stderr).
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def named_trajectories(changes_text: str) -> list[str]:
+    names = re.findall(r"\bBENCH_[A-Za-z0-9_]+\.json\b", changes_text)
+    # Preserve first-mention order, drop duplicates.
+    return list(dict.fromkeys(names))
+
+
+def row_count(doc) -> int:
+    """Rows in either emitted shape: a bare list of row objects
+    (TextTable::to_json) or a dict wrapping one or more row lists under
+    keys like ``rows``/``runs`` (the telemetry benches)."""
+    if isinstance(doc, list):
+        return len(doc)
+    if isinstance(doc, dict):
+        list_lens = [len(v) for v in doc.values() if isinstance(v, list)]
+        if list_lens:
+            return max(list_lens)
+        return 1 if doc else 0
+    return 0
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    changes = root / "CHANGES.md"
+    if not changes.is_file():
+        print(f"error: {changes} not found", file=sys.stderr)
+        return 1
+    names = named_trajectories(changes.read_text(encoding="utf-8"))
+    if not names:
+        print("check_bench_json: CHANGES.md names no BENCH_*.json; nothing to do")
+        return 0
+    problems = []
+    for name in names:
+        path = root / name
+        if not path.is_file():
+            problems.append(f"{name}: named in CHANGES.md but missing from the repo root")
+            continue
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            problems.append(f"{name}: unparsable JSON ({err})")
+            continue
+        rows = row_count(doc)
+        if rows == 0:
+            problems.append(f"{name}: parsed but holds no rows")
+            continue
+        print(f"check_bench_json: {name} ok ({rows} rows)")
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,13 @@ const char* value_of(int argc, char** argv, const char* key,
   return fallback;
 }
 
+bool has_flag(int argc, char** argv, const char* key) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return true;
+  }
+  return false;
+}
+
 std::size_t arg_n(int argc, char** argv, const char* fallback = "5") {
   return static_cast<std::size_t>(std::atoi(value_of(argc, argv, "--n", fallback)));
 }
@@ -184,16 +191,45 @@ int cmd_converge(int argc, char** argv) {
 int cmd_check(int argc, char** argv) {
   const std::size_t n = arg_n(argc, argv, "3");
   const std::uint32_t K = arg_k(argc, argv, n);
+  const std::string protocol = value_of(argc, argv, "--protocol", "ssrmin");
   verify::CheckOptions options;
   options.threads = static_cast<std::size_t>(
       std::atoi(value_of(argc, argv, "--threads", "0")));
-  auto checker = verify::make_ssrmin_checker(n, K);
-  std::cout << "checking all " << checker.codec().total()
-            << " configurations of SSRmin(n=" << n << ", K=" << K
-            << ") under the full distributed daemon...\n";
-  const auto report = checker.run(options);
-  std::cout << report.summary() << '\n';
-  return report.all_ok() ? 0 : 1;
+  const std::string mode = value_of(argc, argv, "--mode", "auto");
+  if (mode == "auto") {
+    options.storage = verify::PhaseBStorage::kAuto;
+  } else if (mode == "legacy-csr" || mode == "legacy") {
+    options.storage = verify::PhaseBStorage::kLegacyCsr;
+  } else if (mode == "compressed") {
+    options.storage = verify::PhaseBStorage::kCompressed;
+  } else if (mode == "csr-free") {
+    options.storage = verify::PhaseBStorage::kCsrFree;
+  } else {
+    std::cerr << "unknown --mode " << mode
+              << " (auto | legacy-csr | compressed | csr-free)\n";
+    return 2;
+  }
+  options.memory_budget_bytes = static_cast<std::uint64_t>(
+      std::atoll(value_of(argc, argv, "--budget", "0")));
+  const bool stats = has_flag(argc, argv, "--stats");
+
+  auto check = [&](auto checker, const char* name) {
+    std::cout << "checking all " << checker.codec().total()
+              << " configurations of " << name << "(n=" << n << ", K=" << K
+              << ") under the full distributed daemon...\n";
+    const auto report = checker.run(options);
+    std::cout << report.summary() << '\n';
+    if (stats) std::cout << report.stats.summary() << '\n';
+    return report.all_ok() ? 0 : 1;
+  };
+  if (protocol == "ssrmin") {
+    return check(verify::make_ssrmin_checker(n, K), "SSRmin");
+  }
+  if (protocol == "dijkstra") {
+    return check(verify::make_kstate_checker(n, K), "Dijkstra");
+  }
+  std::cerr << "unknown --protocol " << protocol << " (ssrmin | dijkstra)\n";
+  return 2;
 }
 
 int cmd_modelgap(int argc, char** argv) {
@@ -539,7 +575,10 @@ void usage() {
          "  trace      print a Figure-4-style execution table\n"
          "  converge   convergence statistics from random starts "
          "(--threads W)\n"
-         "  check      exhaustive model check (small n; --threads T)\n"
+         "  check      exhaustive model check (small n; --protocol "
+         "ssrmin|dijkstra\n"
+         "             --threads T --mode auto|legacy-csr|compressed|csr-free\n"
+         "             --budget BYTES --stats)\n"
          "  modelgap   token availability under message passing\n"
          "  timeline   ASCII token timeline (Figures 11-13)\n"
          "  camera     camera-network policy comparison\n"
