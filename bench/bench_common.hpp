@@ -34,6 +34,23 @@ inline std::size_t thread_count(int argc, char** argv) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
 }
 
+/// Batched (bit-sliced) execution for the Monte-Carlo benches: on by
+/// default where the daemon/metric supports it; `--batched off` (or
+/// SSRING_BENCH_BATCHED=0) forces the scalar engines, `--batched on`
+/// restores the default. Both modes emit bit-identical statistics (the
+/// BatchEngine lane contract); the flag exists to measure the speedup and
+/// to fall back if a daemon has no lane replay.
+inline bool batched_mode(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--batched") value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("SSRING_BENCH_BATCHED");
+  if (value == nullptr) return true;
+  const std::string v(value);
+  return !(v == "off" || v == "0" || v == "no" || v == "false");
+}
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_artifact,
                          const std::string& claim) {

@@ -7,10 +7,16 @@
 // Trials are independent and fan out over sim::TrialSweep (--threads N /
 // SSRING_BENCH_THREADS; default: all hardware threads). Each trial's RNG
 // stream is derived from (row seed, trial index), so every statistical
-// cell is bit-identical at any worker count; only wall time changes. The
-// run always writes BENCH_convergence.json (rows: table, daemon, n,
-// trials, threads, wall_ms) so successive PRs can track the combined
-// incremental-engine + parallel-sweep speedup on the same rows.
+// cell is bit-identical at any worker count; only wall time changes.
+//
+// Execution engine: by default each sweep unit is a 64-lane bit-sliced
+// sim::BatchEngine block replaying the scalar trials lane-for-lane
+// (--batched off forces the scalar stab::Engine path; the statistics are
+// identical either way, per the BatchEngine differential tests). The run
+// always writes BENCH_convergence.json (rows: table, daemon, n, trials,
+// threads, wall_ms, batched) so successive PRs can track the combined
+// bit-sliced + incremental-engine + parallel-sweep speedup on the same
+// rows.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -18,7 +24,10 @@
 #include "bench_common.hpp"
 #include "core/legitimacy.hpp"
 #include "core/ssrmin.hpp"
+#include "core/ssrmin_sliced.hpp"
 #include "dijkstra/kstate.hpp"
+#include "dijkstra/kstate_sliced.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
@@ -58,44 +67,70 @@ int main(int argc, char** argv) {
       "central-random", "distributed-synchronous",
       "distributed-random-subset", "adversary-max-index"};
 
+  const bool batched = bench::batched_mode(argc, argv);
   sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
-  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
+  std::cout << "(sweep workers: " << sweep.threads() << ", engine: "
+            << (batched ? "batched" : "scalar") << ")\n\n";
 
   TextTable table({"daemon", "n", "trials", "mean steps", "p95 steps",
                    "max steps", "mean/n^2", "dijkstra-part mean",
                    "all converged"});
   TextTable trajectory({"table", "daemon", "n", "trials", "threads",
-                        "wall_ms"});
+                        "wall_ms", "batched"});
 
   for (const auto& daemon_name : daemons) {
+    const bool use_batch = batched && sim::batch_daemon_supported(daemon_name);
     for (std::size_t n : sizes) {
       const auto K = static_cast<std::uint32_t>(n + 1);
       const core::SsrMinRing ring(n, K);
+      const std::uint64_t budget = 80ULL * n * n + 400;
       const auto t0 = std::chrono::steady_clock::now();
-      const auto results = sweep.run_trials(
-          1234 + n, static_cast<std::uint64_t>(trials),
-          [&](std::uint64_t, Rng& rng) {
-            stab::Engine<core::SsrMinRing> engine(
-                ring, core::random_config(ring, rng));
-            auto daemon = stab::make_daemon(daemon_name, rng.split());
-            // First milestone: the Dijkstra sub-ring is legitimate
-            // (Lemma 8).
-            auto dij = [&ring](const core::SsrConfig& c) {
-              return core::dijkstra_part_legitimate(ring, c);
-            };
-            const std::uint64_t budget = 80ULL * n * n + 400;
-            const auto r1 = stab::run_until(engine, *daemon, dij, budget);
-            // Then full legitimacy (Lemma 7).
-            auto legit = [&ring](const core::SsrConfig& c) {
-              return core::is_legitimate(ring, c);
-            };
-            const auto r2 = stab::run_until(engine, *daemon, legit, budget);
+      std::vector<TrialResult> results;
+      if (use_batch) {
+        const auto spec = sim::lane_daemon_spec(daemon_name);
+        const auto blocks = sim::plan_blocks(
+            static_cast<std::uint64_t>(trials), sweep.threads());
+        const auto per_block = sweep.map(blocks.size(), [&](std::uint64_t b) {
+          return sim::run_convergence_block<core::SlicedSsrMin>(
+              ring, spec, 1234 + n, blocks[b], budget, /*two_phase=*/true);
+        });
+        results.reserve(static_cast<std::size_t>(trials));
+        for (const auto& block : per_block) {
+          for (const auto& trial : block) {
             TrialResult out;
-            out.converged = r1.reached && r2.reached;
-            out.dijkstra_part_steps = static_cast<double>(r1.steps);
-            out.total_steps = static_cast<double>(r1.steps + r2.steps);
-            return out;
-          });
+            out.converged = trial.milestone.reached && trial.result.reached;
+            out.dijkstra_part_steps =
+                static_cast<double>(trial.milestone.steps);
+            out.total_steps =
+                static_cast<double>(trial.milestone.steps + trial.result.steps);
+            results.push_back(out);
+          }
+        }
+      } else {
+        results = sweep.run_trials(
+            1234 + n, static_cast<std::uint64_t>(trials),
+            [&](std::uint64_t, Rng& rng) {
+              stab::Engine<core::SsrMinRing> engine(
+                  ring, core::random_config(ring, rng));
+              auto daemon = stab::make_daemon(daemon_name, rng.split());
+              // First milestone: the Dijkstra sub-ring is legitimate
+              // (Lemma 8).
+              auto dij = [&ring](const core::SsrConfig& c) {
+                return core::dijkstra_part_legitimate(ring, c);
+              };
+              const auto r1 = stab::run_until(engine, *daemon, dij, budget);
+              // Then full legitimacy (Lemma 7).
+              auto legit = [&ring](const core::SsrConfig& c) {
+                return core::is_legitimate(ring, c);
+              };
+              const auto r2 = stab::run_until(engine, *daemon, legit, budget);
+              TrialResult out;
+              out.converged = r1.reached && r2.reached;
+              out.dijkstra_part_steps = static_cast<double>(r1.steps);
+              out.total_steps = static_cast<double>(r1.steps + r2.steps);
+              return out;
+            });
+      }
       const auto ms = elapsed_ms(t0);
       SampleSet steps;
       SampleSet dijkstra_part_steps;
@@ -124,7 +159,8 @@ int main(int argc, char** argv) {
           .cell(n)
           .cell(trials)
           .cell(sweep.threads())
-          .cell(ms);
+          .cell(ms)
+          .cell(use_batch);
     }
   }
   std::cout << table.render() << '\n';
@@ -136,21 +172,39 @@ int main(int argc, char** argv) {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const dijkstra::KStateRing ring(n, K);
+    const std::uint64_t budget = 8 * dijkstra::convergence_step_bound(n);
     const auto t0 = std::chrono::steady_clock::now();
-    const auto results = sweep.run_trials(
-        777 + n, static_cast<std::uint64_t>(trials),
-        [&](std::uint64_t, Rng& rng) {
-          stab::Engine<dijkstra::KStateRing> engine(
-              ring, dijkstra::random_config(ring, rng));
-          stab::CentralRandomDaemon daemon{rng.split()};
-          auto legit = [&ring](const dijkstra::KStateConfig& c) {
-            return dijkstra::is_legitimate(ring, c);
-          };
-          const auto r = stab::run_until(
-              engine, daemon, legit,
-              8 * dijkstra::convergence_step_bound(n));
-          return r.reached ? static_cast<double>(r.steps) : -1.0;
-        });
+    std::vector<double> results;
+    if (batched) {
+      const auto spec = sim::lane_daemon_spec("central-random");
+      const auto blocks = sim::plan_blocks(static_cast<std::uint64_t>(trials),
+                                           sweep.threads());
+      const auto per_block = sweep.map(blocks.size(), [&](std::uint64_t b) {
+        return sim::run_convergence_block<dijkstra::SlicedKState>(
+            ring, spec, 777 + n, blocks[b], budget, /*two_phase=*/false);
+      });
+      results.reserve(static_cast<std::size_t>(trials));
+      for (const auto& block : per_block) {
+        for (const auto& trial : block) {
+          results.push_back(trial.result.reached
+                                ? static_cast<double>(trial.result.steps)
+                                : -1.0);
+        }
+      }
+    } else {
+      results = sweep.run_trials(
+          777 + n, static_cast<std::uint64_t>(trials),
+          [&](std::uint64_t, Rng& rng) {
+            stab::Engine<dijkstra::KStateRing> engine(
+                ring, dijkstra::random_config(ring, rng));
+            stab::CentralRandomDaemon daemon{rng.split()};
+            auto legit = [&ring](const dijkstra::KStateConfig& c) {
+              return dijkstra::is_legitimate(ring, c);
+            };
+            const auto r = stab::run_until(engine, daemon, legit, budget);
+            return r.reached ? static_cast<double>(r.steps) : -1.0;
+          });
+    }
     const auto ms = elapsed_ms(t0);
     SampleSet steps;
     for (double s : results) {
@@ -172,7 +226,8 @@ int main(int argc, char** argv) {
         .cell(n)
         .cell(trials)
         .cell(sweep.threads())
-        .cell(ms);
+        .cell(ms)
+        .cell(batched);
   }
   std::cout << base.render() << '\n';
   bench::maybe_export(base, "convergence_dijkstra_baseline");

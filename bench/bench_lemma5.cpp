@@ -6,15 +6,22 @@
 // Trials fan out over sim::TrialSweep (--threads / SSRING_BENCH_THREADS)
 // with per-trial (seed, index) RNG streams; the per-trial maxima and move
 // counters merge with max/sum, so the tables are bit-identical at any
-// worker count. The inner loop drives the engine through its cached
-// enabled view (enabled_count/enabled_view) — no per-step rescans, no
-// per-step copies.
+// worker count. By default each sweep unit is a 64-lane bit-sliced
+// sim::BatchEngine block whose rule-avoiding lanes replay the scalar
+// daemon draw-for-draw (--batched off forces the scalar engine; same
+// numbers either way). The scalar loop drives the engine through its
+// cached enabled view with a reused selection buffer — no per-step
+// rescans, no per-step allocation.
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/bounds.hpp"
 #include "core/ssrmin.hpp"
+#include "core/ssrmin_sliced.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/sweep.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
@@ -41,6 +48,119 @@ bool is_rule24(int rule) {
          rule == core::SsrMinRing::kRuleFixGuardTrue;
 }
 
+sim::LaneDaemonSpec avoid24_spec() {
+  return sim::rule_avoiding_spec({core::SsrMinRing::kRuleSendPrimary,
+                                  core::SsrMinRing::kRuleFixGuardTrue});
+}
+
+// Drives one 64-lane block for kStepsPerTrial steps per trial, handing each
+// stepped lane's "did this step execute Rule 2/4" bit to the metric fold.
+// Fold: (lane slot, moved24) -> void; Finish: (lane, slot) -> result.
+template <typename Slot, typename Fold, typename Finish, typename Result>
+std::vector<Result> run_lemma5_block(const core::SsrMinRing& ring,
+                                     std::uint64_t seed, sim::BlockRange block,
+                                     Fold&& fold, Finish&& finish,
+                                     std::vector<Result> out) {
+  out.resize(block.count);
+  sim::BatchEngine<core::SlicedSsrMin> engine{core::SlicedSsrMin(ring),
+                                              avoid24_spec()};
+  struct LaneSlot {
+    std::uint64_t trial = 0;
+    int t = 0;
+    Slot metrics{};
+  };
+  std::array<LaneSlot, 64> slots{};
+  std::uint64_t next = 0;
+  const auto load_next = [&](unsigned lane) {
+    const std::uint64_t trial = block.first + next++;
+    Rng rng = sim::trial_rng(seed, trial);
+    auto config = core::random_config(ring, rng);
+    engine.load_lane(lane, config, rng.split());
+    slots[lane] = LaneSlot{trial, 0, Slot{}};
+  };
+  for (unsigned lane = 0; lane < 64 && next < block.count; ++lane) {
+    load_next(lane);
+  }
+  while (engine.active() != 0) {
+    engine.refresh();
+    const std::uint64_t runnable = engine.any_enabled();
+    std::uint64_t step_mask = 0;
+    bool refilled = false;
+    for (std::uint64_t m = engine.active(); m != 0; m &= m - 1) {
+      const auto lane = static_cast<unsigned>(std::countr_zero(m));
+      LaneSlot& slot = slots[lane];
+      // The deadlock break mirrors the scalar loop; it never fires
+      // (Lemma 4), but keeping it preserves trace equivalence by
+      // construction.
+      if (slot.t == kStepsPerTrial || ((runnable >> lane) & 1u) == 0) {
+        out[slot.trial - block.first] = finish(engine, lane, slot.metrics);
+        engine.retire_lane(lane);
+        if (next < block.count) {
+          load_next(lane);
+          refilled = true;
+        }
+        continue;
+      }
+      step_mask |= 1ULL << lane;
+    }
+    if (refilled) continue;  // fresh lanes need planes before stepping
+    if (step_mask == 0) continue;
+    engine.step(step_mask);
+    const std::uint64_t moved24 = engine.last_moved_mask(
+        {core::SsrMinRing::kRuleSendPrimary,
+         core::SsrMinRing::kRuleFixGuardTrue});
+    for (std::uint64_t m = step_mask; m != 0; m &= m - 1) {
+      const auto lane = static_cast<unsigned>(std::countr_zero(m));
+      LaneSlot& slot = slots[lane];
+      ++slot.t;
+      fold(slot.metrics, ((moved24 >> lane) & 1u) != 0);
+    }
+  }
+  return out;
+}
+
+struct StretchTrack {
+  std::uint64_t gap = 0;
+  std::uint64_t longest = 0;
+};
+
+std::vector<StretchResult> stretch_block(const core::SsrMinRing& ring,
+                                         std::uint64_t seed,
+                                         sim::BlockRange block) {
+  return run_lemma5_block<StretchTrack>(
+      ring, seed, block,
+      [](StretchTrack& track, bool moved24) {
+        if (moved24) {
+          track.gap = 0;
+        } else {
+          ++track.gap;
+          track.longest = std::max(track.longest, track.gap);
+        }
+      },
+      [](const sim::BatchEngine<core::SlicedSsrMin>& engine, unsigned lane,
+         const StretchTrack& track) {
+        return StretchResult{track.longest, engine.forced_steps(lane)};
+      },
+      std::vector<StretchResult>{});
+}
+
+std::vector<MixResult> mix_block(const core::SsrMinRing& ring,
+                                 std::uint64_t seed, sim::BlockRange block) {
+  return run_lemma5_block<MixResult>(
+      ring, seed, block,
+      [](MixResult& mix, bool moved24) {
+        // The rule-avoiding daemon moves exactly one process per step.
+        if (moved24) {
+          ++mix.moves24;
+        } else {
+          ++mix.moves135;
+        }
+      },
+      [](const sim::BatchEngine<core::SlicedSsrMin>&, unsigned,
+         const MixResult& mix) { return mix; },
+      std::vector<MixResult>{});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,8 +174,10 @@ int main(int argc, char** argv) {
                          : std::vector<std::size_t>{3, 4, 6, 8, 12, 16, 24, 32};
   const int trials = bench::full_mode() ? 40 : 15;
 
+  const bool batched = bench::batched_mode(argc, argv);
   sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
-  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
+  std::cout << "(sweep workers: " << sweep.threads() << ", engine: "
+            << (batched ? "batched" : "scalar") << ")\n\n";
 
   TextTable table({"n", "trials", "longest 2/4-free stretch", "bound 3n",
                    "within bound", "forced 2/4 moves"});
@@ -63,33 +185,46 @@ int main(int argc, char** argv) {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const core::SsrMinRing ring(n, K);
-    const auto results = sweep.run_trials(
-        4242 + n, static_cast<std::uint64_t>(trials),
-        [&](std::uint64_t, Rng& rng) {
-          stab::Engine<core::SsrMinRing> engine(
-              ring, core::random_config(ring, rng));
-          stab::RuleAvoidingDaemon daemon{
-              rng.split(),
-              {core::SsrMinRing::kRuleSendPrimary,
-               core::SsrMinRing::kRuleFixGuardTrue}};
-          StretchResult out;
-          std::uint64_t gap = 0;
-          for (int t = 0; t < kStepsPerTrial; ++t) {
-            if (engine.enabled_count() == 0) break;  // never (Lemma 4)
-            const auto selected = daemon.select(engine.enabled_view());
-            const auto& executed = engine.step(selected);
-            const bool moved24 =
-                std::any_of(executed.begin(), executed.end(), is_rule24);
-            if (moved24) {
-              gap = 0;
-            } else {
-              ++gap;
-              out.longest_gap = std::max(out.longest_gap, gap);
+    std::vector<StretchResult> results;
+    if (batched) {
+      const auto blocks = sim::plan_blocks(static_cast<std::uint64_t>(trials),
+                                           sweep.threads());
+      const auto per_block = sweep.map(blocks.size(), [&](std::uint64_t b) {
+        return stretch_block(ring, 4242 + n, blocks[b]);
+      });
+      for (const auto& block : per_block) {
+        results.insert(results.end(), block.begin(), block.end());
+      }
+    } else {
+      results = sweep.run_trials(
+          4242 + n, static_cast<std::uint64_t>(trials),
+          [&](std::uint64_t, Rng& rng) {
+            stab::Engine<core::SsrMinRing> engine(
+                ring, core::random_config(ring, rng));
+            stab::RuleAvoidingDaemon daemon{
+                rng.split(),
+                {core::SsrMinRing::kRuleSendPrimary,
+                 core::SsrMinRing::kRuleFixGuardTrue}};
+            StretchResult out;
+            std::uint64_t gap = 0;
+            std::vector<std::size_t> selected;
+            for (int t = 0; t < kStepsPerTrial; ++t) {
+              if (engine.enabled_count() == 0) break;  // never (Lemma 4)
+              daemon.select_into(engine.enabled_view(), selected);
+              const auto& executed = engine.step(selected);
+              const bool moved24 =
+                  std::any_of(executed.begin(), executed.end(), is_rule24);
+              if (moved24) {
+                gap = 0;
+              } else {
+                ++gap;
+                out.longest_gap = std::max(out.longest_gap, gap);
+              }
             }
-          }
-          out.forced_steps = daemon.forced_steps();
-          return out;
-        });
+            out.forced_steps = daemon.forced_steps();
+            return out;
+          });
+    }
     std::uint64_t longest = 0;
     std::uint64_t forced_total = 0;
     for (const StretchResult& r : results) {
@@ -121,29 +256,42 @@ int main(int argc, char** argv) {
   for (std::size_t n : sizes) {
     const auto K = static_cast<std::uint32_t>(n + 1);
     const core::SsrMinRing ring(n, K);
-    const auto results = sweep.run_trials(
-        9100 + n, static_cast<std::uint64_t>(trials),
-        [&](std::uint64_t, Rng& rng) {
-          stab::Engine<core::SsrMinRing> engine(
-              ring, core::random_config(ring, rng));
-          stab::RuleAvoidingDaemon daemon{
-              rng.split(),
-              {core::SsrMinRing::kRuleSendPrimary,
-               core::SsrMinRing::kRuleFixGuardTrue}};
-          MixResult out;
-          for (int t = 0; t < kStepsPerTrial; ++t) {
-            if (engine.enabled_count() == 0) break;
-            const auto selected = daemon.select(engine.enabled_view());
-            for (int r : engine.step(selected)) {
-              if (is_rule24(r)) {
-                ++out.moves24;
-              } else {
-                ++out.moves135;
+    std::vector<MixResult> results;
+    if (batched) {
+      const auto blocks = sim::plan_blocks(static_cast<std::uint64_t>(trials),
+                                           sweep.threads());
+      const auto per_block = sweep.map(blocks.size(), [&](std::uint64_t b) {
+        return mix_block(ring, 9100 + n, blocks[b]);
+      });
+      for (const auto& block : per_block) {
+        results.insert(results.end(), block.begin(), block.end());
+      }
+    } else {
+      results = sweep.run_trials(
+          9100 + n, static_cast<std::uint64_t>(trials),
+          [&](std::uint64_t, Rng& rng) {
+            stab::Engine<core::SsrMinRing> engine(
+                ring, core::random_config(ring, rng));
+            stab::RuleAvoidingDaemon daemon{
+                rng.split(),
+                {core::SsrMinRing::kRuleSendPrimary,
+                 core::SsrMinRing::kRuleFixGuardTrue}};
+            MixResult out;
+            std::vector<std::size_t> selected;
+            for (int t = 0; t < kStepsPerTrial; ++t) {
+              if (engine.enabled_count() == 0) break;
+              daemon.select_into(engine.enabled_view(), selected);
+              for (int r : engine.step(selected)) {
+                if (is_rule24(r)) {
+                  ++out.moves24;
+                } else {
+                  ++out.moves135;
+                }
               }
             }
-          }
-          return out;
-        });
+            return out;
+          });
+    }
     std::uint64_t moves135 = 0;
     std::uint64_t moves24 = 0;
     for (const MixResult& r : results) {

@@ -62,7 +62,16 @@ int main(int argc, char** argv) {
   }
 
   sim::TrialSweep sweep({.threads = bench::thread_count(argc, argv)});
-  std::cout << "(sweep workers: " << sweep.threads() << ")\n\n";
+  std::cout << "(sweep workers: " << sweep.threads() << ")\n";
+  // Accepts --batched for CLI uniformity with the Monte-Carlo benches, but
+  // the cells here are event-driven CST message-passing runs with per-event
+  // RNG interleavings — there is no bit-sliced form of that metric, so the
+  // scalar simulator always runs.
+  if (bench::batched_mode(argc, argv)) {
+    std::cout << "(--batched: event-driven CST cells have no bit-sliced "
+                 "form; using the scalar simulator)\n";
+  }
+  std::cout << '\n';
   const auto results = sweep.map(cells.size(), [&](std::uint64_t i) {
     const auto [n, sc] = cells[i];
     core::SsrMinRing ring(n, static_cast<std::uint32_t>(n + 1));

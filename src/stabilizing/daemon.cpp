@@ -6,30 +6,35 @@
 
 namespace ssr::stab {
 
-std::vector<std::size_t> CentralRoundRobinDaemon::select(
-    const EnabledView& view) {
+void CentralRoundRobinDaemon::select_into(const EnabledView& view,
+                                          std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
+  out.clear();
   // Scan ids cursor_, cursor_+1, ... (mod n) and take the first enabled.
   for (std::size_t off = 0; off < view.ring_size; ++off) {
     const std::size_t id = (cursor_ + off) % view.ring_size;
     if (std::binary_search(view.indices.begin(), view.indices.end(), id)) {
       cursor_ = (id + 1) % view.ring_size;
-      return {id};
+      out.push_back(id);
+      return;
     }
   }
   // Unreachable: indices is non-empty and every id is < ring_size.
   SSR_ASSERT(false, "round-robin scan found no enabled process");
 }
 
-std::vector<std::size_t> CentralRandomDaemon::select(const EnabledView& view) {
+void CentralRandomDaemon::select_into(const EnabledView& view,
+                                      std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
   const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
-  return {view.indices[k]};
+  out.clear();
+  out.push_back(view.indices[k]);
 }
 
-std::vector<std::size_t> SynchronousDaemon::select(const EnabledView& view) {
+void SynchronousDaemon::select_into(const EnabledView& view,
+                                    std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
-  return {view.indices.begin(), view.indices.end()};
+  out.assign(view.indices.begin(), view.indices.end());
 }
 
 RandomSubsetDaemon::RandomSubsetDaemon(Rng rng, double probability)
@@ -38,9 +43,10 @@ RandomSubsetDaemon::RandomSubsetDaemon(Rng rng, double probability)
               "selection probability must be in (0, 1]");
 }
 
-std::vector<std::size_t> RandomSubsetDaemon::select(const EnabledView& view) {
+void RandomSubsetDaemon::select_into(const EnabledView& view,
+                                     std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
-  std::vector<std::size_t> out;
+  out.clear();
   for (std::size_t id : view.indices) {
     if (rng_.bernoulli(p_)) out.push_back(id);
   }
@@ -48,7 +54,6 @@ std::vector<std::size_t> RandomSubsetDaemon::select(const EnabledView& view) {
     const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
     out.push_back(view.indices[k]);
   }
-  return out;
 }
 
 RuleAvoidingDaemon::RuleAvoidingDaemon(Rng rng, std::vector<int> avoid_rules)
@@ -58,37 +63,49 @@ bool RuleAvoidingDaemon::avoided(int rule) const {
   return std::find(avoid_.begin(), avoid_.end(), rule) != avoid_.end();
 }
 
-std::vector<std::size_t> RuleAvoidingDaemon::select(const EnabledView& view) {
+void RuleAvoidingDaemon::select_into(const EnabledView& view,
+                                     std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
-  std::vector<std::size_t> preferred;
+  // preferred_ doubles as the scratch for the non-avoided candidates; out
+  // receives exactly one id either way.
+  preferred_.clear();
   for (std::size_t k = 0; k < view.indices.size(); ++k) {
-    if (!avoided(view.rules[k])) preferred.push_back(view.indices[k]);
+    if (!avoided(view.rules[k])) preferred_.push_back(view.indices[k]);
   }
-  if (!preferred.empty()) {
+  out.clear();
+  if (!preferred_.empty()) {
     // Schedule one non-avoided process at a time to stretch the execution
     // as far as possible before a forced avoided move.
-    const auto k = static_cast<std::size_t>(rng_.below(preferred.size()));
-    return {preferred[k]};
+    const auto k = static_cast<std::size_t>(rng_.below(preferred_.size()));
+    out.push_back(preferred_[k]);
+    return;
   }
   ++forced_steps_;
   const auto k = static_cast<std::size_t>(rng_.below(view.indices.size()));
-  return {view.indices[k]};
+  out.push_back(view.indices[k]);
 }
 
-std::vector<std::size_t> StarvingDaemon::select(const EnabledView& view) {
+void StarvingDaemon::select_into(const EnabledView& view,
+                                 std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
-  std::vector<std::size_t> candidates;
+  candidates_.clear();
   for (std::size_t id : view.indices) {
-    if (id != victim_) candidates.push_back(id);
+    if (id != victim_) candidates_.push_back(id);
   }
-  if (candidates.empty()) return {victim_};
-  const auto k = static_cast<std::size_t>(rng_.below(candidates.size()));
-  return {candidates[k]};
+  out.clear();
+  if (candidates_.empty()) {
+    out.push_back(victim_);
+    return;
+  }
+  const auto k = static_cast<std::size_t>(rng_.below(candidates_.size()));
+  out.push_back(candidates_[k]);
 }
 
-std::vector<std::size_t> MaxIndexDaemon::select(const EnabledView& view) {
+void MaxIndexDaemon::select_into(const EnabledView& view,
+                                 std::vector<std::size_t>& out) {
   SSR_REQUIRE(!view.indices.empty(), "daemon invoked with no enabled process");
-  return {view.indices.back()};
+  out.clear();
+  out.push_back(view.indices.back());
 }
 
 std::unique_ptr<Daemon> make_daemon(const std::string& name, Rng rng) {

@@ -33,13 +33,26 @@ struct EnabledView {
   std::size_t ring_size = 0;
 };
 
-/// Scheduler interface. Implementations must return a non-empty subset of
+/// Scheduler interface. Implementations must produce a non-empty subset of
 /// view.indices (as indices of processes, not positions in the span).
+///
+/// select_into is the virtual core: it clears @p out and fills it with the
+/// selection, so hot paths (Engine::step_with, the sweep loops) can reuse
+/// one buffer across steps instead of allocating a fresh vector per step.
+/// select is a convenience wrapper for tests and cold paths.
 class Daemon {
  public:
   virtual ~Daemon() = default;
-  virtual std::vector<std::size_t> select(const EnabledView& view) = 0;
+  virtual void select_into(const EnabledView& view,
+                           std::vector<std::size_t>& out) = 0;
   virtual std::string name() const = 0;
+
+  /// Allocating wrapper around select_into.
+  std::vector<std::size_t> select(const EnabledView& view) {
+    std::vector<std::size_t> out;
+    select_into(view, out);
+    return out;
+  }
 };
 
 /// Central daemon, round-robin flavor: scans process ids cyclically from
@@ -47,7 +60,8 @@ class Daemon {
 /// This is the fair central daemon used to replay the paper's Figure 4.
 class CentralRoundRobinDaemon final : public Daemon {
  public:
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "central-round-robin"; }
 
  private:
@@ -58,7 +72,8 @@ class CentralRoundRobinDaemon final : public Daemon {
 class CentralRandomDaemon final : public Daemon {
  public:
   explicit CentralRandomDaemon(Rng rng) : rng_(rng) {}
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "central-random"; }
 
  private:
@@ -70,7 +85,8 @@ class CentralRandomDaemon final : public Daemon {
 /// daemon can make.
 class SynchronousDaemon final : public Daemon {
  public:
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "distributed-synchronous"; }
 };
 
@@ -81,7 +97,8 @@ class SynchronousDaemon final : public Daemon {
 class RandomSubsetDaemon final : public Daemon {
  public:
   RandomSubsetDaemon(Rng rng, double probability);
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "distributed-random-subset"; }
 
  private:
@@ -97,7 +114,8 @@ class RandomSubsetDaemon final : public Daemon {
 class RuleAvoidingDaemon final : public Daemon {
  public:
   RuleAvoidingDaemon(Rng rng, std::vector<int> avoid_rules);
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "adversary-rule-avoiding"; }
 
   /// Number of steps so far in which the daemon was forced to schedule an
@@ -109,6 +127,7 @@ class RuleAvoidingDaemon final : public Daemon {
 
   Rng rng_;
   std::vector<int> avoid_;
+  std::vector<std::size_t> preferred_;  // reusable selection scratch
   std::uint64_t forced_steps_ = 0;
 };
 
@@ -118,12 +137,14 @@ class RuleAvoidingDaemon final : public Daemon {
 class StarvingDaemon final : public Daemon {
  public:
   StarvingDaemon(Rng rng, std::size_t victim) : rng_(rng), victim_(victim) {}
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "adversary-starving"; }
 
  private:
   Rng rng_;
   std::size_t victim_;
+  std::vector<std::size_t> candidates_;  // reusable selection scratch
 };
 
 /// Adversary that always selects the enabled process with the highest
@@ -131,7 +152,8 @@ class StarvingDaemon final : public Daemon {
 /// a classically slow schedule for Dijkstra-style rings.
 class MaxIndexDaemon final : public Daemon {
  public:
-  std::vector<std::size_t> select(const EnabledView& view) override;
+  void select_into(const EnabledView& view,
+                   std::vector<std::size_t>& out) override;
   std::string name() const override { return "adversary-max-index"; }
 };
 

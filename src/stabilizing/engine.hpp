@@ -148,9 +148,10 @@ class Engine {
   /// in this library, would falsify the paper's no-deadlock lemma.
   bool step_with(Daemon& daemon) {
     if (enabled_indices_.empty()) return false;
-    const std::vector<std::size_t> chosen = daemon.select(enabled_view());
-    SSR_REQUIRE(!chosen.empty(), "daemon returned an empty selection");
-    step(chosen);
+    daemon.select_into(enabled_view(), selection_scratch_);
+    SSR_REQUIRE(!selection_scratch_.empty(),
+                "daemon returned an empty selection");
+    step(selection_scratch_);
     return true;
   }
 
@@ -257,6 +258,9 @@ class Engine {
   // returned rule list.
   std::vector<std::pair<std::size_t, State>> scratch_writes_;
   std::vector<int> step_rules_;
+  // Daemon selection buffer for step_with (select_into avoids the per-step
+  // vector the old Daemon::select interface allocated).
+  std::vector<std::size_t> selection_scratch_;
 };
 
 /// Outcome of a bounded run (see run_until below).

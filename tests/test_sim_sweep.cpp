@@ -43,6 +43,13 @@ TEST(TrialRng, GoldenValues) {
       {42, 0, 1865750160070900731ULL, 6791145067590612263ULL},
       {42, 7, 15084523808955195758ULL, 3751774649734410950ULL},
       {1234, 3, 4461986863706032418ULL, 7212097382807872165ULL},
+      // Lane-boundary and deep-jump pins for the batched engine: trial 63
+      // is the last lane of the first BatchEngine generation, 64 the first
+      // refill, and 2^20 a deep O(1) splitmix jump.
+      {2024, 0, 14269995523884565860ULL, 6161159987890047326ULL},
+      {2024, 63, 13139198476505500762ULL, 4547016984391418086ULL},
+      {2024, 64, 3000979179683410642ULL, 11800171329161107635ULL},
+      {2024, 1u << 20, 1250524431563887437ULL, 17787581319846823980ULL},
   };
   for (const Golden& g : goldens) {
     Rng r = trial_rng(g.seed, g.trial);

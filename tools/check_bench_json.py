@@ -25,6 +25,35 @@ def named_trajectories(changes_text: str) -> list[str]:
     return list(dict.fromkeys(names))
 
 
+def truthy_cell(value) -> bool:
+    """TextTable emits booleans as yes/no strings in some columns and as
+    JSON booleans/ints in others; accept the union."""
+    if value in (True, 1):
+        return True
+    return isinstance(value, str) and value.lower() in {"yes", "true", "1", "on"}
+
+
+def check_batched_rows(name: str, doc, problems: list[str]) -> None:
+    """BENCH_convergence.json must record the bit-sliced engine: every row
+    carries a ``batched`` key and at least one row ran batched. A rerun
+    that silently fell back to the scalar engines (or was regenerated with
+    ``--batched off``) fails Release CI here instead of shipping a
+    trajectory that no longer measures the batch engine."""
+    if not isinstance(doc, list):
+        problems.append(f"{name}: expected a row list to check batched coverage")
+        return
+    missing = [i for i, row in enumerate(doc)
+               if not isinstance(row, dict) or "batched" not in row]
+    if missing:
+        problems.append(
+            f"{name}: rows {missing[:5]} lack the 'batched' column")
+        return
+    if not any(truthy_cell(row["batched"]) for row in doc):
+        problems.append(
+            f"{name}: no row ran with the batched engine "
+            "(regenerate without --batched off)")
+
+
 def row_count(doc) -> int:
     """Rows in either emitted shape: a bare list of row objects
     (TextTable::to_json) or a dict wrapping one or more row lists under
@@ -64,6 +93,11 @@ def main() -> int:
         if rows == 0:
             problems.append(f"{name}: parsed but holds no rows")
             continue
+        if name == "BENCH_convergence.json":
+            before = len(problems)
+            check_batched_rows(name, doc, problems)
+            if len(problems) > before:
+                continue
         print(f"check_bench_json: {name} ok ({rows} rows)")
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
