@@ -37,6 +37,14 @@ struct NodeTelemetry {
   std::uint64_t frames_corrupted = 0;   ///< bit-flipped before transmit
   std::uint64_t frames_received = 0;    ///< valid frames accepted
   std::uint64_t frames_rejected = 0;    ///< parse/CRC/zero-length/truncated
+  /// Subset of frames_rejected: frames that parsed as a *newer* wire
+  /// version (e.g. v2 multiring frames hitting a v1 single-ring node).
+  /// Lets a mixed deployment distinguish misrouted traffic from noise.
+  std::uint64_t frames_wrong_version = 0;
+  /// Datagrams the kernel dropped on this node's receive queue for lack
+  /// of buffer space (SK_MEMINFO_DROPS) — loss that happened *before* the
+  /// runtime ever saw the frames.
+  std::uint64_t kernel_rx_drops = 0;
   std::uint64_t send_errors = 0;        ///< kernel-rejected transmissions
   std::uint64_t rule_executions = 0;
   std::uint64_t crash_restarts = 0;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <optional>
 
+#include "runtime/net_util.hpp"
 #include "stabilizing/protocol.hpp"
 #include "util/assert.hpp"
 #include "wire/codec.hpp"
@@ -24,18 +25,6 @@ void UdpParams::validate() const {
   SSR_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
               "drop probability must be in [0, 1)");
 }
-
-namespace {
-
-sockaddr_in loopback_address(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  return addr;
-}
-
-}  // namespace
 
 UdpSsrRing::UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial,
                        UdpParams params)
@@ -53,19 +42,10 @@ UdpSsrRing::UdpSsrRing(core::SsrMinRing ring, core::SsrConfig initial,
   sockets_.resize(n, -1);
   ports_.resize(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-    SSR_REQUIRE(fd >= 0, "failed to create UDP socket");
+    // Explicit kernel buffers: queue capacity is part of the experiment,
+    // not inherited from net.core defaults (see net_util.hpp).
+    const int fd = make_loopback_udp_socket(ports_[i]);
     sockets_[i] = fd;
-    sockaddr_in addr = loopback_address(0);
-    SSR_REQUIRE(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
-                       sizeof(addr)) == 0,
-                "failed to bind UDP socket");
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    SSR_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
-                              &len) == 0,
-                "failed to query bound port");
-    ports_[i] = ntohs(bound.sin_port);
     // Receive timeout doubles as the refresh timer.
     timeval tv{};
     const auto usec = params_.refresh_interval.count();
@@ -174,9 +154,11 @@ UdpStats UdpSsrRing::stats() const {
   s.frames_corrupted = sum_counter(&PerNodeCounters::corrupted);
   s.frames_received = sum_counter(&PerNodeCounters::received);
   s.frames_rejected = sum_counter(&PerNodeCounters::rejected);
+  s.frames_wrong_version = sum_counter(&PerNodeCounters::wrong_version);
   s.send_errors = sum_counter(&PerNodeCounters::send_errors);
   s.rule_executions = sum_counter(&PerNodeCounters::rules);
   s.crash_restarts = sum_counter(&PerNodeCounters::crashes);
+  for (int fd : sockets_) s.kernel_rx_drops += socket_kernel_drops(fd);
   return s;
 }
 
@@ -192,6 +174,8 @@ void UdpSsrRing::fill_node_telemetry(Telemetry& telemetry) const {
     t.frames_corrupted = c.corrupted.load(std::memory_order_relaxed);
     t.frames_received = c.received.load(std::memory_order_relaxed);
     t.frames_rejected = c.rejected.load(std::memory_order_relaxed);
+    t.frames_wrong_version = c.wrong_version.load(std::memory_order_relaxed);
+    t.kernel_rx_drops = socket_kernel_drops(sockets_[i]);
     t.send_errors = c.send_errors.load(std::memory_order_relaxed);
     t.rule_executions = c.rules.load(std::memory_order_relaxed);
     t.crash_restarts = c.crashes.load(std::memory_order_relaxed);
@@ -339,6 +323,17 @@ void UdpSsrRing::node_main(std::size_t i, std::uint64_t seed) {
           &error);
       if (!frame) {
         counters.rejected.fetch_add(1, std::memory_order_relaxed);
+        // A checksum-valid frame with a newer wire version is misrouted
+        // multiring traffic, not noise — count it by name so a mixed
+        // deployment can see it. (Still rejected: a single-ring node has
+        // no ring table to dispatch on.)
+        if (error == wire::DecodeError::kBadVersion &&
+            len >= 2 && buffer[1] == wire::kVersion2 &&
+            wire::decode_frame_any(
+                wire::ByteView(buffer.data(), static_cast<std::size_t>(len)))
+                .has_value()) {
+          counters.wrong_version.fetch_add(1, std::memory_order_relaxed);
+        }
         return;
       }
       const auto state = wire::decode_ssr_state(frame->payload);

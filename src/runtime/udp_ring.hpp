@@ -69,6 +69,11 @@ struct UdpStats {
   std::uint64_t frames_corrupted = 0;   ///< transmitted with flipped bits
   std::uint64_t frames_received = 0;    ///< valid frames accepted
   std::uint64_t frames_rejected = 0;    ///< CRC/parse/zero-length/truncated
+  /// Subset of frames_rejected that carried a newer wire version (a v2
+  /// multiring frame arriving at this v1 single-ring node).
+  std::uint64_t frames_wrong_version = 0;
+  /// Receive-queue overflow drops reported by the kernel (SK_MEMINFO).
+  std::uint64_t kernel_rx_drops = 0;
   std::uint64_t send_errors = 0;        ///< sendto() failures
   std::uint64_t rule_executions = 0;
   std::uint64_t crash_restarts = 0;
@@ -120,6 +125,7 @@ class UdpSsrRing {
     std::atomic<std::uint64_t> corrupted{0};
     std::atomic<std::uint64_t> received{0};
     std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> wrong_version{0};
     std::atomic<std::uint64_t> send_errors{0};
     std::atomic<std::uint64_t> rules{0};
     std::atomic<std::uint64_t> crashes{0};

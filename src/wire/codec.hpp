@@ -12,6 +12,13 @@
 //   * a framed message format:
 //       magic(0xA5) | version(1) | sender varint | payload-length varint |
 //       payload bytes | crc32 (little-endian, over everything before it)
+//   * a v2 framed format for multiplexed transports, identical except for a
+//     ring-id varint between the version byte and the sender:
+//       magic(0xA5) | version(2) | ring-id varint | sender varint |
+//       payload-length varint | payload bytes | crc32
+//     decode_frame_any() decodes both versions (a v1 frame reports ring 0),
+//     which is what lets the MultiRingReactor share sockets with the
+//     single-ring runtimes during a migration;
 //   * per-protocol state payload codecs (SSRmin, K-state, dual K-state).
 //
 // decode_frame() never throws on malformed input: every parse failure —
@@ -64,14 +71,41 @@ struct Frame {
   Bytes payload;
 };
 
+/// A decoded frame from either wire version. A v1 frame reports version = 1
+/// and ring_id = 0 (single-ring runtimes predate the ring-id field).
+struct FrameV2 {
+  std::uint8_t version = 2;
+  std::uint64_t ring_id = 0;
+  std::uint64_t sender = 0;
+  Bytes payload;
+};
+
 inline constexpr std::uint8_t kMagic = 0xA5;
 inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion2 = 2;
 
 /// Builds a complete frame around @p payload.
 Bytes encode_frame(std::uint64_t sender, ByteView payload);
 
 /// Parses a frame; on failure returns nullopt and sets @p error (if given).
 std::optional<Frame> decode_frame(ByteView data, DecodeError* error = nullptr);
+
+/// Appends a complete v2 frame (ring-id keyed) to @p out. The append form
+/// is the reactor's hot path: frames for one sendmmsg batch share a single
+/// arena buffer instead of allocating per frame.
+void encode_frame_v2_into(Bytes& out, std::uint64_t ring_id,
+                          std::uint64_t sender, ByteView payload);
+
+/// Builds a complete v2 frame around @p payload.
+Bytes encode_frame_v2(std::uint64_t ring_id, std::uint64_t sender,
+                      ByteView payload);
+
+/// Parses a frame of either version: v2 yields its ring-id; a v1 frame is
+/// accepted for backward compatibility and reports ring_id = 0 with
+/// version = 1 (callers that care can dispatch on .version). Any other
+/// version byte fails with kBadVersion.
+std::optional<FrameV2> decode_frame_any(ByteView data,
+                                        DecodeError* error = nullptr);
 
 /// Flips @p flips random bits of @p frame in place (fault injection).
 void corrupt_bits(Bytes& frame, Rng& rng, std::size_t flips = 1);

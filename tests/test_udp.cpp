@@ -11,6 +11,8 @@
 #include <array>
 
 #include "core/legitimacy.hpp"
+#include "runtime/net_util.hpp"
+#include "wire/codec.hpp"
 
 namespace ssr::runtime {
 namespace {
@@ -172,6 +174,65 @@ TEST(UdpRing, HostileDatagramsAreRejectedNotApplied) {
   EXPECT_GT(report.consistent_samples, 50u);
   EXPECT_EQ(report.zero_holder_samples, 0u);
   EXPECT_GE(report.min_holders, 1u);
+}
+
+TEST(UdpRing, V2FramesAreToleratedAndCountedByName) {
+  // A v2 (multiring) frame arriving at a v1 single-ring node must be
+  // rejected — the node has no ring table — but counted as wrong_version,
+  // distinct from CRC noise, and must not perturb the protocol.
+  core::SsrMinRing ring(4, 5);
+  UdpSsrRing udp(ring, core::canonical_legitimate(ring, 0), fast_params(21));
+  udp.start();
+  udp.observe(50ms, 500us);
+
+  const int outsider = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(outsider, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(udp.ports()[0]);
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // Checksum-valid v2 frames carrying a plausible SSR state payload.
+  const wire::Bytes payload = wire::encode_state(core::SsrState{1, true, false});
+  const wire::Bytes v2 = wire::encode_frame_v2(12345, 3, payload);
+  for (int i = 0; i < 25; ++i) {
+    ::sendto(outsider, v2.data(), v2.size(), 0,
+             reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  }
+  const SamplerReport report = udp.observe(200ms, 500us);
+  udp.stop();
+  ::close(outsider);
+
+  const UdpStats stats = udp.stats();
+  EXPECT_GT(stats.frames_wrong_version, 0u)
+      << "v2 frames must be counted by name";
+  EXPECT_GE(stats.frames_rejected, stats.frames_wrong_version)
+      << "wrong_version is a subset of rejected";
+  EXPECT_GT(report.consistent_samples, 50u);
+  EXPECT_EQ(report.zero_holder_samples, 0u);
+  EXPECT_GE(report.min_holders, 1u);
+}
+
+TEST(UdpRing, ExplicitKernelBuffersAndDropCounter) {
+  core::SsrMinRing ring(4, 5);
+  UdpSsrRing udp(ring, core::canonical_legitimate(ring, 0), fast_params(23));
+  // The ring owns its fds, so probe the buffer policy through a socket
+  // built by the same helper (the kernel reports back twice the request,
+  // possibly clamped to rmem_max — either way it must be nonzero).
+  std::uint16_t port = 0;
+  const int fd = make_loopback_udp_socket(port);
+  int rcv = 0;
+  socklen_t len = sizeof(rcv);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, &len), 0);
+  EXPECT_GT(rcv, 0);
+  ::close(fd);
+  // A quiescent ring has no kernel receive-queue overflow.
+  EXPECT_EQ(udp.stats().kernel_rx_drops, 0u);
+  // Telemetry plumbs the per-node counter through.
+  Telemetry telemetry(4);
+  udp.fill_node_telemetry(telemetry);
+  const std::string json = telemetry.to_json_string();
+  EXPECT_NE(json.find("kernel_rx_drops"), std::string::npos);
+  EXPECT_NE(json.find("frames_wrong_version"), std::string::npos);
 }
 
 TEST(UdpRing, FaultPlanBurstWindowKeepsAHolder) {

@@ -139,6 +139,114 @@ TEST(Frame, RandomGarbageNeverCrashes) {
   }
 }
 
+TEST(FrameV2, RoundTrip) {
+  const Bytes payload{9, 8, 7};
+  for (std::uint64_t ring : {std::uint64_t{0}, std::uint64_t{1},
+                             std::uint64_t{127}, std::uint64_t{128},
+                             std::uint64_t{100000}, std::uint64_t{1} << 40}) {
+    for (std::uint64_t sender : {std::uint64_t{0}, std::uint64_t{5},
+                                 std::uint64_t{300}}) {
+      const Bytes framed = encode_frame_v2(ring, sender, payload);
+      DecodeError error{};
+      const auto frame = decode_frame_any(framed, &error);
+      ASSERT_TRUE(frame.has_value()) << to_string(error);
+      EXPECT_EQ(frame->version, kVersion2);
+      EXPECT_EQ(frame->ring_id, ring);
+      EXPECT_EQ(frame->sender, sender);
+      EXPECT_EQ(frame->payload, payload);
+    }
+  }
+}
+
+TEST(FrameV2, DecodeAnyAcceptsV1) {
+  // Backward compatibility: a frame from the single-ring runtimes decodes
+  // through decode_frame_any with ring_id 0 and version 1.
+  const Bytes payload{1, 2, 3};
+  const Bytes framed = encode_frame(42, payload);
+  const auto frame = decode_frame_any(framed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->version, kVersion);
+  EXPECT_EQ(frame->ring_id, 0u);
+  EXPECT_EQ(frame->sender, 42u);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameV2, V1DecoderRejectsV2WithBadVersion) {
+  // The legacy decoder must reject-and-name v2 frames so a mixed deployment
+  // counts them instead of misparsing them.
+  const Bytes framed = encode_frame_v2(7, 1, Bytes{9});
+  DecodeError error{};
+  EXPECT_EQ(decode_frame(framed, &error), std::nullopt);
+  EXPECT_EQ(error, DecodeError::kBadVersion);
+}
+
+TEST(FrameV2, DecodeAnyRejectsUnknownVersion) {
+  Bytes framed = encode_frame_v2(7, 1, Bytes{9});
+  framed[1] = 3;
+  DecodeError error{};
+  EXPECT_EQ(decode_frame_any(framed, &error), std::nullopt);
+  EXPECT_EQ(error, DecodeError::kBadVersion);
+}
+
+TEST(FrameV2, EveryTruncationRejected) {
+  const Bytes framed = encode_frame_v2(100000, 2, Bytes{5, 6, 7, 8});
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    DecodeError error{};
+    EXPECT_EQ(decode_frame_any(ByteView(framed.data(), len), &error),
+              std::nullopt)
+        << "prefix of length " << len << " decoded";
+    EXPECT_NE(error, DecodeError::kNone);
+  }
+}
+
+TEST(FrameV2, CorruptBitsDetectedOrHarmless) {
+  // Same CRC property as v1: flipped bits either fail the decode or leave
+  // the content untouched — never a *different* ring/sender/payload.
+  Rng rng(123);
+  const core::SsrState state{4, false, true};
+  const Bytes payload = encode_state(state);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes framed = encode_frame_v2(991, 2, payload);
+    corrupt_bits(framed, rng, 1 + rng.below(3));
+    const auto frame = decode_frame_any(framed);
+    if (!frame.has_value()) continue;
+    EXPECT_EQ(frame->ring_id, 991u);
+    EXPECT_EQ(frame->sender, 2u);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(FrameV2, RandomGarbageNeverCrashes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_NO_THROW({ (void)decode_frame_any(junk); });
+  }
+}
+
+TEST(FrameV2, ArenaAppendedFramesDecodeIndividually) {
+  // The reactor packs a sendmmsg batch into one arena; each frame's bytes
+  // must decode independently of its neighbors.
+  Bytes arena;
+  const std::size_t first_start = arena.size();
+  encode_frame_v2_into(arena, 10, 1, Bytes{0xAA});
+  const std::size_t second_start = arena.size();
+  encode_frame_v2_into(arena, 20, 2, Bytes{0xBB, 0xCC});
+  const std::size_t end = arena.size();
+  const auto first = decode_frame_any(
+      ByteView(arena.data() + first_start, second_start - first_start));
+  const auto second = decode_frame_any(
+      ByteView(arena.data() + second_start, end - second_start));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->ring_id, 10u);
+  EXPECT_EQ(first->payload, (Bytes{0xAA}));
+  EXPECT_EQ(second->ring_id, 20u);
+  EXPECT_EQ(second->sender, 2u);
+  EXPECT_EQ(second->payload, (Bytes{0xBB, 0xCC}));
+}
+
 TEST(StatePayload, SsrRoundTrip) {
   for (std::uint32_t x : {0u, 1u, 127u, 128u, 1000000u}) {
     for (int flags = 0; flags < 4; ++flags) {

@@ -54,6 +54,28 @@ def check_batched_rows(name: str, doc, problems: list[str]) -> None:
             "(regenerate without --batched off)")
 
 
+def check_multiring_rows(name: str, doc, problems: list[str]) -> None:
+    """BENCH_multiring.json must chart the reactor scaling claim: at least
+    three scale rows, each carrying ``rings``, ``handovers_per_sec`` and
+    ``p99_us``. A rerun that dropped the 100k row or renamed the latency
+    column fails CI here instead of shipping a trajectory that no longer
+    backs E27."""
+    if not isinstance(doc, list):
+        problems.append(f"{name}: expected a row list of scale points")
+        return
+    if len(doc) < 3:
+        problems.append(
+            f"{name}: only {len(doc)} scale rows; need >= 3 (1k/10k/100k)")
+        return
+    required = ("rings", "handovers_per_sec", "p99_us")
+    for i, row in enumerate(doc):
+        missing = [k for k in required
+                   if not isinstance(row, dict) or k not in row]
+        if missing:
+            problems.append(f"{name}: row {i} lacks columns {missing}")
+            return
+
+
 def row_count(doc) -> int:
     """Rows in either emitted shape: a bare list of row objects
     (TextTable::to_json) or a dict wrapping one or more row lists under
@@ -96,6 +118,11 @@ def main() -> int:
         if name == "BENCH_convergence.json":
             before = len(problems)
             check_batched_rows(name, doc, problems)
+            if len(problems) > before:
+                continue
+        if name == "BENCH_multiring.json":
+            before = len(problems)
+            check_multiring_rows(name, doc, problems)
             if len(problems) > before:
                 continue
         print(f"check_bench_json: {name} ok ({rows} rows)")

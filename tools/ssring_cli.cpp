@@ -49,6 +49,17 @@
 //                       [--corrupt P] [--fault-plan SPEC]
 //                       [--telemetry-json F]
 //       Same over loopback UDP sockets with CRC-framed wire messages.
+//
+//   ssring run-multi    [--rings R] [--n N] [--k K] [--seed X]
+//                       [--protocol ssrmin|dijkstra|dual|mixed]
+//                       [--shards S] [--transport virtual|udp]
+//                       [--duration-ms D] [--refresh-us R]
+//                       [--start random|legit] [--fault-plan SPEC]
+//                       [--telemetry-json F]
+//       Host R independent rings on one epoll-multiplexed reactor (v2
+//       wire frames over shared sockets). The virtual transport is
+//       seeded-deterministic; --telemetry-json exports per-ring PR-3
+//       telemetry ('-' = stdout). Exits 0 iff every ring ends legitimate.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +77,7 @@
 #include "msgpass/factories.hpp"
 #include "msgpass/timeline.hpp"
 #include "runtime/factories.hpp"
+#include "runtime/reactor.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/udp_ring.hpp"
 #include "sim/batch_engine.hpp"
@@ -606,6 +618,96 @@ int cmd_run_udp(int argc, char** argv) {
   return write_telemetry(a.telemetry_path, telemetry);
 }
 
+int cmd_run_multi(int argc, char** argv) {
+  runtime::ReactorConfig config;
+  config.rings = static_cast<std::size_t>(
+      std::atoll(value_of(argc, argv, "--rings", "256")));
+  config.nodes = arg_n(argc, argv, "4");
+  config.modulus = std::atoi(value_of(argc, argv, "--k", "0")) > 0
+                       ? static_cast<std::uint32_t>(
+                             std::atoi(value_of(argc, argv, "--k", "0")))
+                       : 0;
+  config.shards = static_cast<std::size_t>(
+      std::atoll(value_of(argc, argv, "--shards", "1")));
+  config.seed = arg_seed(argc, argv);
+  config.refresh_interval = std::chrono::microseconds(
+      std::atoll(value_of(argc, argv, "--refresh-us", "5000")));
+  config.fault_plan =
+      runtime::FaultPlan::parse(value_of(argc, argv, "--fault-plan", ""));
+  const std::string protocol = value_of(argc, argv, "--protocol", "ssrmin");
+  if (protocol == "mixed") {
+    config.mixed = true;
+  } else if (protocol == "ssrmin") {
+    config.protocol = runtime::RingProtocolKind::kSsrMin;
+  } else if (protocol == "dijkstra" || protocol == "kstate") {
+    config.protocol = runtime::RingProtocolKind::kKState;
+  } else if (protocol == "dual") {
+    config.protocol = runtime::RingProtocolKind::kDual;
+  } else {
+    std::cerr << "unknown --protocol: " << protocol
+              << " (ssrmin|dijkstra|dual|mixed)\n";
+    return 2;
+  }
+  const std::string transport = value_of(argc, argv, "--transport", "virtual");
+  if (transport == "virtual") {
+    config.transport = runtime::ReactorTransport::kVirtual;
+  } else if (transport == "udp") {
+    config.transport = runtime::ReactorTransport::kUdp;
+  } else {
+    std::cerr << "unknown --transport: " << transport << " (virtual|udp)\n";
+    return 2;
+  }
+  config.start = std::strcmp(value_of(argc, argv, "--start", "random"),
+                             "legit") == 0
+                     ? runtime::RingStart::kLegitimate
+                     : runtime::RingStart::kRandom;
+  const std::string telemetry_path =
+      value_of(argc, argv, "--telemetry-json", "");
+  config.per_ring_telemetry = !telemetry_path.empty();
+  const auto duration = std::chrono::milliseconds(
+      std::atoll(value_of(argc, argv, "--duration-ms", "200")));
+
+  runtime::MultiRingReactor reactor(config);
+  const runtime::ReactorReport r =
+      reactor.run(std::chrono::duration_cast<std::chrono::microseconds>(
+          duration));
+
+  TextTable table({"rings", "shards", "legit", "token live", "handovers",
+                   "handovers/s", "p50 us", "p99 us", "p99.9 us", "sent",
+                   "received", "rejected", "kernel drops"});
+  table.row()
+      .cell(r.rings)
+      .cell(r.shards)
+      .cell(r.rings_legitimate)
+      .cell(r.rings_with_holder)
+      .cell(r.handovers)
+      .cell(r.handovers_per_sec, 0)
+      .cell(r.p50_us, 1)
+      .cell(r.p99_us, 1)
+      .cell(r.p999_us, 1)
+      .cell(r.frames_sent)
+      .cell(r.frames_received)
+      .cell(r.frames_rejected)
+      .cell(r.kernel_rx_drops);
+  std::cout << table.render();
+
+  if (!telemetry_path.empty()) {
+    const std::string json = reactor.telemetry_json(r).dump(2);
+    if (telemetry_path == "-") {
+      std::cout << json << '\n';
+    } else {
+      std::ofstream out(telemetry_path);
+      if (!out) {
+        std::cerr << "cannot write " << telemetry_path << '\n';
+        return 1;
+      }
+      out << json << '\n';
+      std::cout << "telemetry written to " << telemetry_path << '\n';
+    }
+  }
+  return r.rings_legitimate == r.rings ? 0 : 1;
+}
+
 void usage() {
   std::cout
       << "ssring <command> [options]\n\n"
@@ -626,6 +728,10 @@ void usage() {
          "  tail       delay-variance stress on the handover (E22)\n"
          "  run-threaded  real-thread runtime under a --fault-plan\n"
          "  run-udp    loopback-UDP runtime under a --fault-plan\n"
+         "  run-multi  epoll-multiplexed multi-ring reactor (--rings N\n"
+         "             --protocol ssrmin|dijkstra|dual|mixed --shards S\n"
+         "             --transport virtual|udp --fault-plan SPEC\n"
+         "             --telemetry-json F)\n"
          "\ncommon options: --n --k --seed; see tools/ssring_cli.cpp for "
          "the full per-command list.\n";
 }
@@ -651,6 +757,7 @@ int main(int argc, char** argv) {
     if (cmd == "tail") return cmd_tail(argc, argv);
     if (cmd == "run-threaded") return cmd_run_threaded(argc, argv);
     if (cmd == "run-udp") return cmd_run_udp(argc, argv);
+    if (cmd == "run-multi") return cmd_run_multi(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();
       return 0;
