@@ -3,13 +3,12 @@
 namespace ssr::sim {
 
 Rng trial_rng(std::uint64_t seed, std::uint64_t trial) {
-  // Jump the splitmix64 stream seeded with `seed` directly to position
-  // `trial` (the state advance is += golden gamma per output), then take
-  // one output as the xoshiro seed. Changing either seed or trial changes
-  // the whole child stream; the golden values are pinned by
+  // The generic derivation now lives in util/rng.hpp (ssr::stream_rng) so
+  // the sharded CST simulator can reuse it for per-node streams; the
+  // formula is unchanged (splitmix64 jump to `trial`, one output as the
+  // xoshiro seed) and the golden values stay pinned by
   // tests/test_sim_sweep.cpp.
-  std::uint64_t state = seed + trial * 0x9e3779b97f4a7c15ULL;
-  return Rng(splitmix64_next(state));
+  return stream_rng(seed, trial);
 }
 
 }  // namespace ssr::sim

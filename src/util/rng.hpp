@@ -120,6 +120,8 @@ class Rng {
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
 
   /// Fisher–Yates shuffle of a random-access container.
+  // (see also ssr::stream_rng below for order-independent stream
+  // derivation from a (seed, stream index) pair)
   template <typename Container>
   void shuffle(Container& c) {
     const auto n = c.size();
@@ -138,5 +140,19 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// Derives the independent child stream number @p stream of @p seed by
+/// jumping the splitmix64 generator seeded with `seed` directly to
+/// position `stream` (the splitmix state advance is += golden gamma per
+/// output) and expanding one output into a full xoshiro state. Unlike
+/// Rng::split(), the derivation is a pure function of (seed, stream):
+/// streams can be created in any order, on any worker, and still match —
+/// the property the parallel trial sweeps (sim::trial_rng) and the
+/// sharded CST simulator's per-node streams both build on. Golden values
+/// are pinned by tests/test_sim_sweep.cpp.
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed + stream * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64_next(state));
+}
 
 }  // namespace ssr

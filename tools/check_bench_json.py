@@ -76,6 +76,28 @@ def check_multiring_rows(name: str, doc, problems: list[str]) -> None:
             return
 
 
+def check_cst_rows(name: str, doc, problems: list[str]) -> None:
+    """BENCH_cst.json must chart the sharded-engine scaling claim: at
+    least three scale rows, each carrying ``n``, ``workers`` and
+    ``events_per_sec``. A rerun that dropped the million-node row or
+    renamed the throughput column fails CI here instead of shipping a
+    trajectory that no longer backs E28."""
+    if not isinstance(doc, list):
+        problems.append(f"{name}: expected a row list of scale points")
+        return
+    if len(doc) < 3:
+        problems.append(
+            f"{name}: only {len(doc)} scale rows; need >= 3 (10^4/10^5/10^6)")
+        return
+    required = ("n", "workers", "events_per_sec")
+    for i, row in enumerate(doc):
+        missing = [k for k in required
+                   if not isinstance(row, dict) or k not in row]
+        if missing:
+            problems.append(f"{name}: row {i} lacks columns {missing}")
+            return
+
+
 def row_count(doc) -> int:
     """Rows in either emitted shape: a bare list of row objects
     (TextTable::to_json) or a dict wrapping one or more row lists under
@@ -123,6 +145,11 @@ def main() -> int:
         if name == "BENCH_multiring.json":
             before = len(problems)
             check_multiring_rows(name, doc, problems)
+            if len(problems) > before:
+                continue
+        if name == "BENCH_cst.json":
+            before = len(problems)
+            check_cst_rows(name, doc, problems)
             if len(problems) > before:
                 continue
         print(f"check_bench_json: {name} ok ({rows} rows)")

@@ -18,7 +18,11 @@
 //       report is identical at every thread count.
 //
 //   ssring modelgap  [--n N] [--delay D] [--duration T] [--seed X]
+//                    [--workers W]
 //       Token availability of ssrmin vs dijkstra vs 2x dijkstra under CST.
+//       W > 1 shards the conservative PDES engine over contiguous ring
+//       segments (0 = hardware threads); the table is byte-identical at
+//       every worker count.
 //
 //   ssring timeline  [--n N] [--cols C] [--algo ssrmin|dijkstra|dual]
 //       ASCII token timeline (the Figures 11-13 visual).
@@ -293,6 +297,10 @@ int cmd_modelgap(int argc, char** argv) {
   net.delay_max = delay;
   net.refresh_interval = 8.0 * delay;
   net.seed = arg_seed(argc, argv);
+  // Sharded engine: 0 = one worker per hardware thread. Statistics are
+  // byte-identical at every worker count; this is a wall-clock knob.
+  net.workers = static_cast<std::size_t>(
+      std::atoi(value_of(argc, argv, "--workers", "1")));
 
   TextTable table({"algorithm", "coverage %", "zero intervals", "min holders",
                    "max holders", "handovers"});
@@ -720,6 +728,8 @@ void usage() {
          "             --threads T --mode auto|legacy-csr|compressed|csr-free\n"
          "             --budget BYTES --stats)\n"
          "  modelgap   token availability under message passing\n"
+         "             (--workers W shards the engine; statistics are\n"
+         "             byte-identical at every W)\n"
          "  timeline   ASCII token timeline (Figures 11-13)\n"
          "  camera     camera-network policy comparison\n"
          "  mis        local mutual inclusion (MIS) on a general topology\n"
