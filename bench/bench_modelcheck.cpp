@@ -17,11 +17,14 @@
 //
 // Besides the usual table/export, the run always writes
 // BENCH_modelcheck.json (rows: protocol, n, K, configs, threads, mode,
-// wall_ms, peak_mib) so successive PRs can track the checker's
-// throughput and footprint trajectory.
+// wall_ms, peak_mib, backend, lanes) so successive PRs can track the
+// checker's throughput and footprint trajectory. `backend`/`lanes` name
+// the bit-sliced Phase A engine (u64/avx2/avx512 x 64/256/512) — or
+// "scalar"/1 when the odometer sweep ran instead.
 //
-// `--smoke` runs a minimal tri-mode pass (for the sanitizer CI job) and
-// prints peak RSS.
+// `--smoke` runs a minimal tri-mode pass (for the sanitizer CI job),
+// cross-checks the sliced Phase A against the scalar sweep for report
+// identity, and prints peak RSS.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -72,6 +75,15 @@ ssr::verify::CheckReport run_once(const Checker& checker,
   return r;
 }
 
+std::string phase_a_backend(const ssr::verify::CheckReport& r) {
+  return r.stats.phase_a_sliced ? r.stats.phase_a_backend
+                                : std::string("scalar");
+}
+
+unsigned phase_a_lanes(const ssr::verify::CheckReport& r) {
+  return r.stats.phase_a_sliced ? r.stats.phase_a_lanes : 1u;
+}
+
 template <typename Checker>
 void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
              const std::string& name, std::size_t n, std::uint32_t K,
@@ -94,6 +106,7 @@ void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
         .cell(r.legitimate_configs)
         .cell(threads)
         .cell(ssr::verify::to_string(r.stats.mode))
+        .cell(phase_a_backend(r))
         .cell(r.deadlock_free)
         .cell(r.closure_holds)
         .cell(r.token_bounds_hold)
@@ -110,7 +123,9 @@ void run_row(ssr::TextTable& table, ssr::TextTable& trajectory,
         .cell(threads)
         .cell(ssr::verify::to_string(r.stats.mode))
         .cell(ms, 1)
-        .cell(peak_mib, 2);
+        .cell(peak_mib, 2)
+        .cell(phase_a_backend(r))
+        .cell(phase_a_lanes(r));
   }
 }
 
@@ -150,6 +165,7 @@ void run_mode_comparison(ssr::TextTable& table, ssr::TextTable& trajectory,
           .cell(r.legitimate_configs)
           .cell(threads)
           .cell(ssr::verify::to_string(r.stats.mode))
+          .cell(phase_a_backend(r))
           .cell(r.deadlock_free)
           .cell(r.closure_holds)
           .cell(r.token_bounds_hold)
@@ -166,7 +182,9 @@ void run_mode_comparison(ssr::TextTable& table, ssr::TextTable& trajectory,
           .cell(threads)
           .cell(ssr::verify::to_string(r.stats.mode))
           .cell(ms, 1)
-          .cell(peak_mib, 2);
+          .cell(peak_mib, 2)
+          .cell(phase_a_backend(r))
+          .cell(phase_a_lanes(r));
     }
     const double mem_ratio =
         static_cast<double>(legacy.stats.measured_peak_bytes) /
@@ -182,6 +200,69 @@ void run_mode_comparison(ssr::TextTable& table, ssr::TextTable& trajectory,
                       kMiB);
     std::cout << line;
   }
+}
+
+/// Same space, same answers, two Phase A engines: the sliced sweep must
+/// reproduce the scalar odometer's report bit-for-bit while finishing
+/// sooner. Prints the wall-time ratio alongside the two rows.
+template <typename Checker>
+void run_phase_a_comparison(ssr::TextTable& table, ssr::TextTable& trajectory,
+                            const std::string& name, std::size_t n,
+                            std::uint32_t K, const Checker& checker,
+                            ssr::verify::CheckOptions options,
+                            std::size_t threads) {
+  using ssr::verify::PhaseAMode;
+  double scalar_ms = 0.0, sliced_ms = 0.0;
+  auto scalar_options = options;
+  scalar_options.phase_a = PhaseAMode::kScalar;
+  auto sliced_options = options;
+  sliced_options.phase_a = PhaseAMode::kSliced;
+  const auto scalar = run_once(checker, scalar_options, threads,
+                               ssr::verify::PhaseBStorage::kAuto, scalar_ms);
+  const auto sliced = run_once(checker, sliced_options, threads,
+                               ssr::verify::PhaseBStorage::kAuto, sliced_ms);
+  for (const auto* r : {&scalar, &sliced}) {
+    const double ms = (r == &scalar) ? scalar_ms : sliced_ms;
+    const double peak_mib =
+        static_cast<double>(r->stats.measured_peak_bytes) / kMiB;
+    table.row()
+        .cell(name)
+        .cell(n)
+        .cell(K)
+        .cell(r->total_configs)
+        .cell(r->legitimate_configs)
+        .cell(threads)
+        .cell(ssr::verify::to_string(r->stats.mode))
+        .cell(phase_a_backend(*r))
+        .cell(r->deadlock_free)
+        .cell(r->closure_holds)
+        .cell(r->token_bounds_hold)
+        .cell(r->convergence_holds)
+        .cell(r->worst_case_steps)
+        .cell(r->min_privileged_anywhere)
+        .cell(peak_mib, 1)
+        .cell(ms, 0);
+    trajectory.row()
+        .cell(name)
+        .cell(n)
+        .cell(K)
+        .cell(r->total_configs)
+        .cell(threads)
+        .cell(ssr::verify::to_string(r->stats.mode))
+        .cell(ms, 1)
+        .cell(peak_mib, 2)
+        .cell(phase_a_backend(*r))
+        .cell(phase_a_lanes(*r));
+  }
+  const bool identical = scalar.summary() == sliced.summary();
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "phase A comparison %s(%zu,%u) threads=%zu: wall "
+                "scalar/sliced(%s) = %.1fx, reports %s\n",
+                name.c_str(), n, K, threads,
+                sliced.stats.phase_a_backend.c_str(), scalar_ms / sliced_ms,
+                identical ? "identical" : "DIVERGED");
+  std::cout << line;
 }
 
 int run_smoke() {
@@ -201,12 +282,26 @@ int run_smoke() {
                                    ssr_options, threads, storage, ms);
       const auto dijkstra = run_once(verify::make_kstate_checker(3, 4),
                                      dij_options, threads, storage, ms);
+      // The same spaces again with the scalar odometer sweep: every field
+      // of both reports must come out bit-identical to the sliced runs.
+      auto scalar_ssr = ssr_options;
+      scalar_ssr.phase_a = verify::PhaseAMode::kScalar;
+      auto scalar_dij = dij_options;
+      scalar_dij.phase_a = verify::PhaseAMode::kScalar;
+      const auto ssrmin_scalar = run_once(verify::make_ssrmin_checker(3, 4),
+                                          scalar_ssr, threads, storage, ms);
+      const auto dijkstra_scalar = run_once(verify::make_kstate_checker(3, 4),
+                                            scalar_dij, threads, storage, ms);
       const bool ok = ssrmin.all_ok() && ssrmin.worst_case_steps == 16 &&
-                      dijkstra.all_ok();
+                      dijkstra.all_ok() &&
+                      ssrmin.summary() == ssrmin_scalar.summary() &&
+                      dijkstra.summary() == dijkstra_scalar.summary();
       if (!ok) ++failures;
       std::cout << "  storage=" << verify::to_string(storage)
-                << " threads=" << threads << ": "
-                << (ok ? "ok" : "FAILED") << '\n';
+                << " threads=" << threads << " phase_a="
+                << (ssrmin.stats.phase_a_sliced ? ssrmin.stats.phase_a_backend
+                                                : "scalar")
+                << " vs scalar: " << (ok ? "ok" : "FAILED") << '\n';
     }
   }
   std::cout << "peak-RSS: " << peak_rss_mib() << " MiB\n";
@@ -227,11 +322,11 @@ int main(int argc, char** argv) {
       ">= 1 privileged process anywhere, and every execution converges");
 
   TextTable table({"protocol", "n", "K", "configs", "legit", "threads",
-                   "mode", "no-deadlock", "closure", "tokens[1,2]",
+                   "mode", "phaseA", "no-deadlock", "closure", "tokens[1,2]",
                    "convergence", "worst steps", "min priv anywhere",
                    "peakMiB", "ms"});
   TextTable trajectory({"protocol", "n", "K", "configs", "threads", "mode",
-                        "wall_ms", "peak_mib"});
+                        "wall_ms", "peak_mib", "backend", "lanes"});
 
   verify::CheckOptions ssr_options;  // defaults: privileged in [1,2]
   run_row(table, trajectory, "ssrmin", 3, 4, verify::make_ssrmin_checker(3, 4),
@@ -243,9 +338,10 @@ int main(int argc, char** argv) {
   run_row(table, trajectory, "ssrmin", 4, 5, verify::make_ssrmin_checker(4, 5),
           ssr_options);
   // 331k configurations: full-mode-only before the sharded sweep, now a
-  // default row.
-  run_row(table, trajectory, "ssrmin", 4, 6, verify::make_ssrmin_checker(4, 6),
-          ssr_options);
+  // default row — run scalar-vs-sliced so the Phase A speedup and the
+  // report identity are pinned in the output.
+  run_phase_a_comparison(table, trajectory, "ssrmin", 4, 6,
+                         verify::make_ssrmin_checker(4, 6), ssr_options, 1);
   if (bench::full_mode()) {
     run_row(table, trajectory, "ssrmin", 4, 7,
             verify::make_ssrmin_checker(4, 7), ssr_options);
@@ -268,9 +364,10 @@ int main(int argc, char** argv) {
           verify::make_kstate_checker(5, 6), dij_options);
   run_row(table, trajectory, "dijkstra", 6, 7,
           verify::make_kstate_checker(6, 7), dij_options);
-  // 8^7 ≈ 2M configurations — previously full-mode-only territory.
-  run_row(table, trajectory, "dijkstra", 7, 8,
-          verify::make_kstate_checker(7, 8), dij_options);
+  // 8^7 ≈ 2M configurations — previously full-mode-only territory; also
+  // the scalar-vs-sliced Phase A pin for the Dijkstra kernel.
+  run_phase_a_comparison(table, trajectory, "dijkstra", 7, 8,
+                         verify::make_kstate_checker(7, 8), dij_options, 1);
   if (bench::full_mode()) {
     run_row(table, trajectory, "dijkstra", 8, 9,
             verify::make_kstate_checker(8, 9), dij_options);

@@ -1,4 +1,5 @@
-// Bit-sliced Dijkstra K-state kernel: 64 Monte-Carlo lanes per word.
+// Bit-sliced Dijkstra K-state kernel: one lane per bit of the lane word W
+// (64 for u64, 256/512 for the WideWord SIMD backends).
 //
 // The K-state protocol is the degenerate case of the sliced SSRmin kernel:
 // one rule ("if G_i then C_i"), no flag planes. It exists so the batched
@@ -7,8 +8,8 @@
 //
 // Legitimacy bit-parallel: is_legitimate (all equal, or a single +1 step)
 // is exactly "exactly one guard holds" AND "every x_i != x_{i-1} boundary
-// at i >= 1 steps by +1 mod K" — the same 2-bit vertical counter plus
-// util::SlicedDigits::step_shape reduction SSRmin uses for its x-part.
+// at i >= 1 steps by +1 mod K" — the incremental per-lane counts plus
+// util::BasicSlicedDigits::step_shape reduction SSRmin uses for its x-part.
 #pragma once
 
 #include <array>
@@ -24,18 +25,22 @@
 
 namespace ssr::dijkstra {
 
-class SlicedKState {
+template <typename W>
+class BasicSlicedKState {
  public:
   using Ring = KStateRing;
   using Config = KStateConfig;
+  using Word = W;
+  using Traits = util::LaneTraits<W>;
 
   static constexpr int kRuleCount = 1;
+  static constexpr unsigned kLanes = Traits::kLanes;
 
-  explicit SlicedKState(const KStateRing& ring)
+  explicit BasicSlicedKState(const KStateRing& ring)
       : ring_(ring),
         n_(ring.size()),
         digits_(n_, ring.modulus()),
-        enabled_(n_, 0),
+        enabled_(n_, Traits::zero()),
         dirty_mark_(n_, 0) {}
 
   std::size_t size() const { return n_; }
@@ -45,6 +50,16 @@ class SlicedKState {
     SSR_REQUIRE(config.size() == n_, "configuration/ring size mismatch");
     for (std::size_t i = 0; i < n_; ++i) digits_.set_lane(i, lane, config[i].x);
     all_dirty_ = true;
+  }
+
+  /// Bulk masked write of one process's counter: every lane in `mask`
+  /// takes digit `x`. Dirties only the process and its successor (the two
+  /// guards reading x_i), so a run-decomposed refill (sliced Phase A)
+  /// keeps compute() incremental.
+  void fill_lanes(std::size_t i, const W& mask, std::uint32_t x) {
+    digits_.set_lanes_masked(i, mask, x);
+    mark_dirty(i);
+    mark_dirty(i + 1 == n_ ? 0 : i + 1);
   }
 
   Config extract_lane(unsigned lane) const {
@@ -61,26 +76,21 @@ class SlicedKState {
       full_rebuild_ = true;
       en_count_.fill(0);
       for (std::size_t i = 0; i < n_; ++i) {
-        for (std::uint64_t w = enabled_[i]; w != 0; w &= w - 1) {
-          ++en_count_[std::countr_zero(w)];
-        }
+        Traits::for_each_lane(enabled_[i],
+                              [&](unsigned lane) { ++en_count_[lane]; });
       }
     } else {
       full_rebuild_ = false;
       for (std::size_t i : dirty_) {
-        const std::uint64_t old = enabled_[i];
+        const W old = enabled_[i];
         refresh_guard(i);
-        const std::uint64_t diff = old ^ enabled_[i];
-        if (diff == 0) continue;
+        const W diff = old ^ enabled_[i];
+        if (!Traits::any(diff)) continue;
         enabled_changes_.emplace_back(i, diff);
-        for (std::uint64_t gained = enabled_[i] & ~old; gained != 0;
-             gained &= gained - 1) {
-          ++en_count_[std::countr_zero(gained)];
-        }
-        for (std::uint64_t lost = old & ~enabled_[i]; lost != 0;
-             lost &= lost - 1) {
-          --en_count_[std::countr_zero(lost)];
-        }
+        Traits::for_each_lane(enabled_[i] & ~old,
+                              [&](unsigned lane) { ++en_count_[lane]; });
+        Traits::for_each_lane(old & ~enabled_[i],
+                              [&](unsigned lane) { --en_count_[lane]; });
       }
     }
     for (std::size_t i : dirty_) dirty_mark_[i] = 0;
@@ -94,39 +104,46 @@ class SlicedKState {
   /// (index, old XOR new) pairs for every enabled-plane word the last
   /// incremental compute() changed — what lets BatchEngine patch its
   /// lane-major bitmaps in O(changed bits) instead of re-transposing.
-  const std::vector<std::pair<std::size_t, std::uint64_t>>& enabled_changes()
-      const {
+  const std::vector<std::pair<std::size_t, W>>& enabled_changes() const {
     return enabled_changes_;
   }
 
   void mark_all_dirty() { all_dirty_ = true; }
 
   /// Lanewise G_i — identically the enabled plane (the single rule).
-  const std::vector<std::uint64_t>& enabled() const { return enabled_; }
+  const std::vector<W>& enabled() const { return enabled_; }
 
   /// Per-lane token (= enabled) count, maintained incrementally.
   std::uint32_t enabled_count(unsigned lane) const { return en_count_[lane]; }
 
+  /// Lanewise "P_i holds the token" — for K-state that is the guard plane
+  /// itself; named to match the SSRmin kernel for the sliced Phase A.
+  const W& privileged_plane(std::size_t i) const { return enabled_[i]; }
+
   /// Lanewise "at least one process enabled", from the per-lane counts.
-  std::uint64_t any_enabled_mask() const {
-    std::uint64_t any = 0;
-    for (unsigned l = 0; l < 64; ++l) {
-      any |= static_cast<std::uint64_t>(en_count_[l] != 0) << l;
+  W any_enabled_mask() const {
+    W any = Traits::zero();
+    for (unsigned g = 0; g < Traits::kLimbs; ++g) {
+      std::uint64_t bits = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        bits |= static_cast<std::uint64_t>(en_count_[g * 64 + b] != 0) << b;
+      }
+      Traits::set_limb(any, g, bits);
     }
     return any;
   }
 
-  const std::vector<std::uint64_t>& rule(int r) const {
+  const std::vector<W>& rule(int r) const {
     SSR_REQUIRE(r == KStateRing::kRule, "K-state has a single rule");
     return enabled_;
   }
 
-  void apply(const std::vector<std::uint64_t>& sel) {
+  void apply(const std::vector<W>& sel) {
     SSR_REQUIRE(sel.size() == n_, "selection/ring size mismatch");
     digits_.apply_command(sel.data());
     for (std::size_t i = 0; i < n_; ++i) {
-      if (sel[i] == 0) continue;
-      SSR_ASSERT((sel[i] & ~enabled_[i]) == 0,
+      if (!Traits::any(sel[i])) continue;
+      SSR_ASSERT(!Traits::any(sel[i] & ~enabled_[i]),
                  "selected a disabled (process, lane)");
       mark_dirty(i);
       mark_dirty(i + 1 == n_ ? 0 : i + 1);
@@ -134,18 +151,22 @@ class SlicedKState {
   }
 
   struct LegitMasks {
-    std::uint64_t milestone = 0;   ///< same as legitimate for K-state
-    std::uint64_t legitimate = 0;  ///< dijkstra::is_legitimate per lane
+    W milestone = Traits::zero();   ///< same as legitimate for K-state
+    W legitimate = Traits::zero();  ///< dijkstra::is_legitimate per lane
   };
 
   LegitMasks legit_masks() const {
     // "Exactly one token" straight from the incremental per-lane counts.
-    std::uint64_t one = 0;
-    for (unsigned l = 0; l < 64; ++l) {
-      one |= static_cast<std::uint64_t>(en_count_[l] == 1) << l;
+    W one = Traits::zero();
+    for (unsigned g = 0; g < Traits::kLimbs; ++g) {
+      std::uint64_t bits = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        bits |= static_cast<std::uint64_t>(en_count_[g * 64 + b] == 1) << b;
+      }
+      Traits::set_limb(one, g, bits);
     }
-    if (one == 0) return {};
-    const std::uint64_t legit = digits_.step_shape(one);
+    if (!Traits::any(one)) return {};
+    const W legit = digits_.step_shape(one);
     return {legit, legit};
   }
 
@@ -163,14 +184,17 @@ class SlicedKState {
 
   KStateRing ring_;  // small value type; copied so the kernel is movable
   std::size_t n_;
-  util::SlicedDigits digits_;
-  std::vector<std::uint64_t> enabled_;
-  std::array<std::uint32_t, 64> en_count_{};  // per-lane enabled counts
-  std::vector<std::pair<std::size_t, std::uint64_t>> enabled_changes_;
+  util::BasicSlicedDigits<W> digits_;
+  std::vector<W> enabled_;
+  std::array<std::uint32_t, kLanes> en_count_{};  // per-lane enabled counts
+  std::vector<std::pair<std::size_t, W>> enabled_changes_;
   std::vector<std::uint8_t> dirty_mark_;
   std::vector<std::size_t> dirty_;
   bool all_dirty_ = true;
   bool full_rebuild_ = false;
 };
+
+/// The classic 64-lane kernel every scalar-u64 call site keeps using.
+using SlicedKState = BasicSlicedKState<std::uint64_t>;
 
 }  // namespace ssr::dijkstra

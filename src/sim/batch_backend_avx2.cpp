@@ -1,0 +1,28 @@
+// 256-lane instantiations of the batched convergence runs. This TU is the
+// only sim code compiled with -mavx2 (see CMakeLists.txt): the WideWord<4>
+// limb loops are plain C++, the flag just lets the vectorizer emit 256-bit
+// ops. Callers reach it through sim/batch_dispatch.cpp after a cpuid check.
+#include "sim/batch_dispatch.hpp"
+
+#include "core/ssrmin_sliced.hpp"
+#include "dijkstra/kstate_sliced.hpp"
+
+namespace ssr::sim::detail {
+
+std::vector<BatchTrialOutcome> run_convergence_block_ssrmin_avx2(
+    const core::SsrMinRing& ring, const LaneDaemonSpec& spec,
+    std::uint64_t seed, BlockRange block, std::uint64_t max_steps,
+    bool two_phase) {
+  return run_convergence_block<core::BasicSlicedSsrMin<util::Lane256>>(
+      ring, spec, seed, block, max_steps, two_phase);
+}
+
+std::vector<BatchTrialOutcome> run_convergence_block_kstate_avx2(
+    const dijkstra::KStateRing& ring, const LaneDaemonSpec& spec,
+    std::uint64_t seed, BlockRange block, std::uint64_t max_steps,
+    bool two_phase) {
+  return run_convergence_block<dijkstra::BasicSlicedKState<util::Lane256>>(
+      ring, spec, seed, block, max_steps, two_phase);
+}
+
+}  // namespace ssr::sim::detail

@@ -1,0 +1,29 @@
+// 512-lane instantiations of the batched convergence runs. This TU is the
+// only sim code compiled with -mavx512f (see CMakeLists.txt): the
+// WideWord<8> limb loops are plain C++, the flag just lets the vectorizer
+// emit 512-bit ops. Callers reach it through sim/batch_dispatch.cpp after
+// a cpuid check.
+#include "sim/batch_dispatch.hpp"
+
+#include "core/ssrmin_sliced.hpp"
+#include "dijkstra/kstate_sliced.hpp"
+
+namespace ssr::sim::detail {
+
+std::vector<BatchTrialOutcome> run_convergence_block_ssrmin_avx512(
+    const core::SsrMinRing& ring, const LaneDaemonSpec& spec,
+    std::uint64_t seed, BlockRange block, std::uint64_t max_steps,
+    bool two_phase) {
+  return run_convergence_block<core::BasicSlicedSsrMin<util::Lane512>>(
+      ring, spec, seed, block, max_steps, two_phase);
+}
+
+std::vector<BatchTrialOutcome> run_convergence_block_kstate_avx512(
+    const dijkstra::KStateRing& ring, const LaneDaemonSpec& spec,
+    std::uint64_t seed, BlockRange block, std::uint64_t max_steps,
+    bool two_phase) {
+  return run_convergence_block<dijkstra::BasicSlicedKState<util::Lane512>>(
+      ring, spec, seed, block, max_steps, two_phase);
+}
+
+}  // namespace ssr::sim::detail

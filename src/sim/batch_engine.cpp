@@ -37,14 +37,17 @@ LaneDaemonSpec rule_avoiding_spec(std::vector<int> avoid_rules) {
   return spec;
 }
 
-std::vector<BlockRange> plan_blocks(std::uint64_t trials, std::size_t workers) {
+std::vector<BlockRange> plan_blocks(std::uint64_t trials, std::size_t workers,
+                                    unsigned lanes) {
   std::vector<BlockRange> blocks;
   if (trials == 0) return blocks;
   if (workers == 0) workers = 1;
-  // Few enough blocks that each spans more than one 64-lane generation
+  if (lanes == 0) lanes = 64;
+  // Few enough blocks that each spans more than one lane generation
   // where the trial count allows (so refill amortizes per-block setup),
   // but at least one block per worker once there are ~16 trials to share.
-  const std::uint64_t by_capacity = (trials + 127) / 128;
+  const std::uint64_t span = 2ULL * lanes;
+  const std::uint64_t by_capacity = (trials + span - 1) / span;
   const std::uint64_t by_workers =
       std::min<std::uint64_t>(workers, (trials + 15) / 16);
   std::uint64_t units = std::max(by_capacity, by_workers);

@@ -1,21 +1,24 @@
-// sim::BatchEngine — step 64 Monte-Carlo trials per word.
+// sim::BatchEngine — step one lane word's worth of Monte-Carlo trials at
+// a time (64 for the u64 kernels, 256/512 for the WideWord SIMD backends).
 //
-// A bit-sliced kernel (core::SlicedSsrMin, dijkstra::SlicedKState) holds 64
-// independent trials ("lanes") as bit planes; BatchEngine drives the daemon
-// side: per-lane scheduler state, per-lane RNG streams, an active-lane mask
-// for retiring converged trials, and continuous refill from the trial queue.
+// A bit-sliced kernel (core::BasicSlicedSsrMin, dijkstra::BasicSlicedKState)
+// holds kLanes independent trials ("lanes") as bit planes; BatchEngine
+// drives the daemon side: per-lane scheduler state, per-lane RNG streams,
+// an active-lane mask for retiring converged trials, and continuous refill
+// from the trial queue.
 //
 // The load-bearing contract is *bit-identical lanes*: lane l of a batched
 // run consumes exactly the trial_rng(seed, t) stream the scalar path does —
 // same draw order (random_config first, then one split() for the daemon),
 // same per-step daemon draws (see step()) — so every lane's step trace
 // equals a scalar stab::Engine run of the same trial, and batched sweep
-// tables are byte-identical to scalar ones at any worker count. A
-// differential test (tests/test_batch_engine.cpp) pins this across
-// protocols x daemons x ring sizes x seeds.
+// tables are byte-identical to scalar ones at any worker count AND any
+// lane width (the trial->stream mapping never depends on which lane or
+// word the trial lands in). A differential test (tests/test_batch_engine.cpp)
+// pins this across protocols x daemons x ring sizes x seeds x lane words.
 //
 // Parallelism composes, not competes: one BatchEngine block per TrialSweep
-// unit, so `--threads` multiplies the 64-lane SIMD win.
+// unit, so `--threads` multiplies the per-word SIMD win.
 #pragma once
 
 #include <array>
@@ -64,55 +67,63 @@ LaneDaemonSpec lane_daemon_spec(const std::string& name);
 LaneDaemonSpec rule_avoiding_spec(std::vector<int> avoid_rules);
 
 /// A contiguous range of trial indices, the unit handed to one TrialSweep
-/// worker (one BatchEngine per block; > 64 trials exercise lane refill).
+/// worker (one BatchEngine per block; > kLanes trials exercise lane refill).
 struct BlockRange {
   std::uint64_t first = 0;
   std::uint64_t count = 0;
 };
 
 /// Splits `trials` into contiguous blocks: enough to feed `workers`, few
-/// enough that blocks exceed one 64-lane generation where possible (so
-/// refill actually happens and per-block fixed costs amortize).
-std::vector<BlockRange> plan_blocks(std::uint64_t trials, std::size_t workers);
+/// enough that blocks exceed one `lanes`-wide generation where possible
+/// (so refill actually happens and per-block fixed costs amortize). The
+/// split depends only on (trials, workers, lanes); per-trial determinism
+/// never depends on the blocking.
+std::vector<BlockRange> plan_blocks(std::uint64_t trials, std::size_t workers,
+                                    unsigned lanes = 64);
 
 template <typename Kernel>
 class BatchEngine {
  public:
   using Config = typename Kernel::Config;
+  using Word = typename Kernel::Word;
+  using Traits = util::LaneTraits<Word>;
+  static constexpr unsigned kLanes = Traits::kLanes;
 
   BatchEngine(Kernel kernel, LaneDaemonSpec spec)
       : kernel_(std::move(kernel)),
         spec_(std::move(spec)),
         n_(kernel_.size()),
         words_((n_ + 63) / 64),
-        sel_(n_, 0),
-        lane_bits_(64 * words_, 0),
-        pref_bits_(spec_.kind == LaneDaemonKind::kRuleAvoiding ? 64 * words_
-                                                               : 0,
+        sel_(n_, Traits::zero()),
+        lane_bits_(kLanes * words_, 0),
+        pref_bits_(spec_.kind == LaneDaemonKind::kRuleAvoiding
+                       ? kLanes * words_
+                       : 0,
                    0),
-        pref_plane_(spec_.kind == LaneDaemonKind::kRuleAvoiding ? n_ : 0, 0) {}
+        pref_plane_(spec_.kind == LaneDaemonKind::kRuleAvoiding ? n_ : 0,
+                    Traits::zero()) {}
 
   std::size_t size() const { return n_; }
   const Kernel& kernel() const { return kernel_; }
   Kernel& kernel() { return kernel_; }
 
   /// Mask of lanes currently carrying a live trial.
-  std::uint64_t active() const { return active_; }
+  const Word& active() const { return active_; }
 
   /// Installs a trial into a lane: the scalar-path equivalent of
   /// constructing the engine from `config` and make_daemon(..., rng).
   /// Resets the lane's step/move/forced counters and scheduler state.
   void load_lane(unsigned lane, const Config& config, Rng daemon_rng) {
-    SSR_REQUIRE(lane < 64, "lane index out of range");
+    SSR_REQUIRE(lane < kLanes, "lane index out of range");
     kernel_.load_lane(lane, config);
     lanes_[lane] = LaneState{};
     lanes_[lane].rng = daemon_rng;
-    active_ |= 1ULL << lane;
+    Traits::set(active_, lane);
   }
 
   /// Removes a finished trial from the active mask (its planes become
   /// garbage until the lane is reloaded).
-  void retire_lane(unsigned lane) { active_ &= ~(1ULL << lane); }
+  void retire_lane(unsigned lane) { active_ &= ~Traits::lane_bit(lane); }
 
   /// Recomputes the kernel planes and the per-lane enabled bitmaps. Must
   /// be called after load_lane/step and before any_enabled/legit/step.
@@ -133,16 +144,15 @@ class BatchEngine {
         for (const auto& [i, diff] : kernel_.enabled_changes()) {
           const std::size_t w = i >> 6;
           const std::uint64_t bit = 1ULL << (i & 63);
-          for (std::uint64_t d = diff; d != 0; d &= d - 1) {
-            lane_bits_[static_cast<std::size_t>(std::countr_zero(d)) * words_ +
-                       w] ^= bit;
-          }
+          Traits::for_each_lane(diff, [&](unsigned lane) {
+            lane_bits_[static_cast<std::size_t>(lane) * words_ + w] ^= bit;
+          });
         }
       }
     }
     if (spec_.kind == LaneDaemonKind::kRuleAvoiding) {
       for (std::size_t i = 0; i < n_; ++i) {
-        std::uint64_t avoided = 0;
+        Word avoided = Traits::zero();
         for (int r : spec_.avoid_rules) avoided |= kernel_.rule(r)[i];
         pref_plane_[i] = en[i] & ~avoided;
       }
@@ -152,7 +162,7 @@ class BatchEngine {
 
   /// Lanewise "at least one process enabled" (a zero bit means the lane's
   /// trial is deadlocked). Valid after refresh().
-  std::uint64_t any_enabled() const { return any_enabled_; }
+  const Word& any_enabled() const { return any_enabled_; }
 
   /// Lanewise legitimacy masks, forwarded from the kernel.
   auto legit_masks() const { return kernel_.legit_masks(); }
@@ -165,42 +175,38 @@ class BatchEngine {
   ///   rule-avoiding:   below over preferred ids if any, else a forced
   ///                    below over all enabled;
   ///   round-robin / max-index / synchronous: no draws.
-  void step(std::uint64_t mask) {
-    SSR_REQUIRE(mask != 0, "a batched step must move at least one lane");
-    SSR_REQUIRE((mask & ~active_) == 0, "stepping an inactive lane");
-    for (std::size_t i : touched_) sel_[i] = 0;
+  void step(const Word& mask) {
+    SSR_REQUIRE(Traits::any(mask), "a batched step must move at least one lane");
+    SSR_REQUIRE(!Traits::any(mask & ~active_), "stepping an inactive lane");
+    for (std::size_t i : touched_) sel_[i] = Traits::zero();
     touched_.clear();
     if (spec_.kind == LaneDaemonKind::kSynchronous) {
       const auto& en = kernel_.enabled();
       for (std::size_t i = 0; i < n_; ++i) {
-        const std::uint64_t s = en[i] & mask;
-        if (s != 0) {
+        const Word s = en[i] & mask;
+        if (Traits::any(s)) {
           sel_[i] = s;
           touched_.push_back(i);
         }
       }
-      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-        const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      Traits::for_each_lane(mask, [&](unsigned lane) {
         lanes_[lane].moves += kernel_.enabled_count(lane);
-      }
+      });
     } else {
-      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-        select_for_lane(static_cast<unsigned>(std::countr_zero(m)));
-      }
+      Traits::for_each_lane(mask,
+                            [&](unsigned lane) { select_for_lane(lane); });
     }
     kernel_.apply(sel_);
-    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-      ++lanes_[std::countr_zero(m)].steps;
-    }
+    Traits::for_each_lane(mask, [&](unsigned lane) { ++lanes_[lane].steps; });
   }
 
   /// Lane mask of lanes whose *last step* executed one of the given rules
   /// (bench_lemma5's gap metric). Valid between step() and the next
   /// refresh(): it reads the pre-step rule planes the step selected from.
-  std::uint64_t last_moved_mask(std::initializer_list<int> rules) const {
-    std::uint64_t acc = 0;
+  Word last_moved_mask(std::initializer_list<int> rules) const {
+    Word acc = Traits::zero();
     for (std::size_t i : touched_) {
-      std::uint64_t plane = 0;
+      Word plane = Traits::zero();
       for (int r : rules) plane |= kernel_.rule(r)[i];
       acc |= sel_[i] & plane;
     }
@@ -232,17 +238,23 @@ class BatchEngine {
   }
 
   /// Process-major planes -> lane-major bitmaps, one 64x64 transpose per
-  /// word column. Rows past n_ are zero, so per-lane bitmaps never carry
-  /// phantom processes.
-  void transpose_planes(const std::uint64_t* planes, std::uint64_t* out) {
+  /// (word column, limb group). Rows past n_ are zero, so per-lane bitmaps
+  /// never carry phantom processes.
+  void transpose_planes(const Word* planes, std::uint64_t* out) {
     std::uint64_t tmp[64];
     for (std::size_t w = 0; w < words_; ++w) {
       const std::size_t base = w * 64;
       const std::size_t rows = n_ - base < 64 ? n_ - base : 64;
-      for (std::size_t r = 0; r < rows; ++r) tmp[r] = planes[base + r];
-      for (std::size_t r = rows; r < 64; ++r) tmp[r] = 0;
-      util::transpose64(tmp);
-      for (unsigned l = 0; l < 64; ++l) out[l * words_ + w] = tmp[l];
+      for (unsigned g = 0; g < Traits::kLimbs; ++g) {
+        for (std::size_t r = 0; r < rows; ++r) {
+          tmp[r] = Traits::limb(planes[base + r], g);
+        }
+        for (std::size_t r = rows; r < 64; ++r) tmp[r] = 0;
+        util::transpose64(tmp);
+        for (unsigned l = 0; l < 64; ++l) {
+          out[(static_cast<std::size_t>(g) * 64 + l) * words_ + w] = tmp[l];
+        }
+      }
     }
   }
 
@@ -291,13 +303,13 @@ class BatchEngine {
     SSR_ASSERT(false, "max-index scan found no enabled process");
   }
 
-  void mark(std::size_t i, std::uint64_t lane_bit) {
-    if (sel_[i] == 0) touched_.push_back(i);
+  void mark(std::size_t i, const Word& lane_bit) {
+    if (!Traits::any(sel_[i])) touched_.push_back(i);
     sel_[i] |= lane_bit;
   }
 
   void select_for_lane(unsigned lane) {
-    const std::uint64_t lane_bit = 1ULL << lane;
+    const Word lane_bit = Traits::lane_bit(lane);
     const std::uint64_t* enabled = row(lane);
     LaneState& state = lanes_[lane];
     switch (spec_.kind) {
@@ -363,16 +375,16 @@ class BatchEngine {
   LaneDaemonSpec spec_;
   std::size_t n_;
   std::size_t words_;
-  std::uint64_t active_ = 0;
-  std::uint64_t any_enabled_ = 0;
-  std::array<LaneState, 64> lanes_{};
+  Word active_ = Traits::zero();
+  Word any_enabled_ = Traits::zero();
+  std::array<LaneState, kLanes> lanes_{};
   // Per-process lane masks of the current selection; only touched_ entries
   // are nonzero (cleared lazily at the next step to keep O(moved) cost).
-  std::vector<std::uint64_t> sel_;
+  std::vector<Word> sel_;
   std::vector<std::size_t> touched_;
   std::vector<std::uint64_t> lane_bits_;  // lane-major enabled bitmaps
   std::vector<std::uint64_t> pref_bits_;  // lane-major non-avoided bitmaps
-  std::vector<std::uint64_t> pref_plane_; // process-major scratch
+  std::vector<Word> pref_plane_;          // process-major scratch
 };
 
 /// Outcome of one batched convergence trial (mirrors the scalar bench
@@ -395,6 +407,9 @@ std::vector<BatchTrialOutcome> run_convergence_block(
     const typename Kernel::Ring& ring, const LaneDaemonSpec& spec,
     std::uint64_t seed, BlockRange block, std::uint64_t max_steps,
     bool two_phase) {
+  using Traits = typename BatchEngine<Kernel>::Traits;
+  using Word = typename Kernel::Word;
+  constexpr unsigned kLanes = Traits::kLanes;
   std::vector<BatchTrialOutcome> out(block.count);
   if (block.count == 0) return out;
   BatchEngine<Kernel> engine{Kernel(ring), spec};
@@ -404,7 +419,7 @@ std::vector<BatchTrialOutcome> run_convergence_block(
     std::uint64_t leg_steps = 0;
     std::uint64_t leg_moves0 = 0;
   };
-  std::array<Slot, 64> slots{};
+  std::array<Slot, kLanes> slots{};
   std::uint64_t next = 0;
   const auto load_next = [&](unsigned lane) {
     const std::uint64_t trial = block.first + next++;
@@ -413,34 +428,33 @@ std::vector<BatchTrialOutcome> run_convergence_block(
     engine.load_lane(lane, config, rng.split());
     slots[lane] = Slot{trial, 0, 0, 0};
   };
-  for (unsigned lane = 0; lane < 64 && next < block.count; ++lane) {
+  for (unsigned lane = 0; lane < kLanes && next < block.count; ++lane) {
     load_next(lane);
   }
-  while (engine.active() != 0) {
+  while (Traits::any(engine.active())) {
     engine.refresh();
     const auto legit = engine.legit_masks();
-    const std::uint64_t runnable = engine.any_enabled();
-    std::uint64_t step_mask = 0;
+    const Word runnable = engine.any_enabled();
+    Word step_mask = Traits::zero();
     bool refilled = false;
-    for (std::uint64_t m = engine.active(); m != 0; m &= m - 1) {
-      const auto lane = static_cast<unsigned>(std::countr_zero(m));
-      const std::uint64_t lane_bit = 1ULL << lane;
+    // Iterate a snapshot: retire_lane/load_lane mutate the live mask.
+    const Word active_lanes = engine.active();
+    Traits::for_each_lane(active_lanes, [&](unsigned lane) {
       Slot& slot = slots[lane];
       bool finished = false;
       for (;;) {
         const bool milestone_leg = two_phase && slot.phase == 0;
-        const bool done = milestone_leg
-                              ? ((legit.milestone >> lane) & 1u) != 0
-                              : ((legit.legitimate >> lane) & 1u) != 0;
+        const bool done = milestone_leg ? Traits::test(legit.milestone, lane)
+                                        : Traits::test(legit.legitimate, lane);
         stab::RunResult leg;
         if (done) {
           leg.reached = true;
         } else if (slot.leg_steps == max_steps) {
           // budget exhausted: leg ends unreached, not deadlocked
-        } else if (((runnable >> lane) & 1u) == 0) {
+        } else if (!Traits::test(runnable, lane)) {
           leg.deadlocked = true;
         } else {
-          step_mask |= lane_bit;
+          Traits::set(step_mask, lane);
           break;
         }
         leg.steps = slot.leg_steps;
@@ -463,16 +477,15 @@ std::vector<BatchTrialOutcome> run_convergence_block(
           refilled = true;
         }
       }
-    }
+    });
     // Fresh lanes need their planes computed before anyone steps; the
     // discarded step_mask re-derives identically next iteration (leg
     // counters only advance on an actual step).
     if (refilled) continue;
-    if (step_mask != 0) {
+    if (Traits::any(step_mask)) {
       engine.step(step_mask);
-      for (std::uint64_t m = step_mask; m != 0; m &= m - 1) {
-        ++slots[std::countr_zero(m)].leg_steps;
-      }
+      Traits::for_each_lane(step_mask,
+                            [&](unsigned lane) { ++slots[lane].leg_steps; });
     }
   }
   return out;

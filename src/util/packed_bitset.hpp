@@ -54,6 +54,21 @@ class TwoLevelBitset {
     summary_[i >> 12] |= std::uint64_t{1} << ((i >> 6) & 63);
   }
 
+  /// ORs 64 bits into the level-0 word covering the 64-aligned index
+  /// `base`, maintaining the summary — the bulk form of set() the sliced
+  /// Phase A uses to install one lane word of legitimacy bits at a time.
+  /// Same single-writer contract as set(): the caller owns the word.
+  void set_word(std::uint64_t base, std::uint64_t bits) {
+    if (bits == 0) return;
+    words_[base >> 6] |= bits;
+    summary_[base >> 12] |= std::uint64_t{1} << ((base >> 6) & 63);
+  }
+
+  /// Reads the level-0 word covering the 64-aligned index `base` (bit l of
+  /// the result is index base + l). Valid under the same visibility rules
+  /// as test().
+  std::uint64_t word(std::uint64_t base) const { return words_[base >> 6]; }
+
   /// The summary bit is left set (it means "may contain bits");
   /// for_each_set reconciles it once a block drains.
   void clear(std::uint64_t i) {

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "verify/checkers.hpp"
+#include "verify/phase_a_dispatch.hpp"
 
 namespace ssr::verify {
 
@@ -29,7 +30,13 @@ std::string CheckStats::summary() const {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(3);
-  os << "phase_b_storage=" << to_string(mode)
+  os << "phase_a=";
+  if (phase_a_sliced) {
+    os << "sliced(" << phase_a_backend << "," << phase_a_lanes << ")";
+  } else {
+    os << "scalar";
+  }
+  os << " phase_b_storage=" << to_string(mode)
      << " projected_peak=" << mib(projected_peak_bytes)
      << " measured_peak=" << mib(measured_peak_bytes)
      << " budget=" << mib(memory_budget_bytes) << " edges=" << edge_count
@@ -55,9 +62,16 @@ ModelChecker<core::SsrMinRing> make_ssrmin_checker(std::size_t n,
   auto privileged = [ring](const core::SsrConfig& c) {
     return core::privileged_count(ring, c);
   };
-  return ModelChecker<core::SsrMinRing>(ring, std::move(codec),
-                                        std::move(legit),
-                                        std::move(privileged));
+  ModelChecker<core::SsrMinRing> checker(ring, std::move(codec),
+                                         std::move(legit),
+                                         std::move(privileged));
+  // The kernel evaluates exactly core::is_legitimate / privileged_count
+  // bit-parallel, so the sliced Phase A is safe to install here (and only
+  // here — custom predicates must keep the scalar sweep).
+  checker.set_phase_a_slices([n, K] {
+    return make_ssrmin_phase_a_slice(n, K, util::detect_lane_backend());
+  });
+  return checker;
 }
 
 ModelChecker<dijkstra::KStateRing> make_kstate_checker(std::size_t n,
@@ -73,9 +87,13 @@ ModelChecker<dijkstra::KStateRing> make_kstate_checker(std::size_t n,
   auto privileged = [ring](const dijkstra::KStateConfig& c) {
     return dijkstra::token_count(ring, c);
   };
-  return ModelChecker<dijkstra::KStateRing>(ring, std::move(codec),
-                                            std::move(legit),
-                                            std::move(privileged));
+  ModelChecker<dijkstra::KStateRing> checker(ring, std::move(codec),
+                                             std::move(legit),
+                                             std::move(privileged));
+  checker.set_phase_a_slices([n, K] {
+    return make_kstate_phase_a_slice(n, K, util::detect_lane_backend());
+  });
+  return checker;
 }
 
 }  // namespace ssr::verify

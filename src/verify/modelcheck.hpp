@@ -85,6 +85,7 @@
 #include "util/assert.hpp"
 #include "util/packed_bitset.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/phase_a_sliced.hpp"
 #include "verify/phaseb_store.hpp"
 
 namespace ssr::verify {
@@ -158,6 +159,12 @@ struct CheckOptions {
   /// hardware thread, 1 = fully sequential. The report is bit-identical
   /// at every thread count.
   std::size_t threads = 0;
+  /// Phase A execution strategy: kAuto runs the bit-sliced sweep when the
+  /// checker has a PhaseASlice factory installed (the library's own
+  /// factories always install one) and falls back to the scalar odometer
+  /// walk otherwise; kScalar forces the walk; kSliced requires a factory.
+  /// The report is bit-identical either way.
+  PhaseAMode phase_a = PhaseAMode::kAuto;
   /// Phase B storage backend; kAuto picks the cheapest mode whose
   /// projected peak fits the memory budget. The report is bit-identical
   /// in every mode.
@@ -310,6 +317,16 @@ class ModelChecker {
   }
 
   CheckReport run(const CheckOptions& options = {}) const;
+
+  /// Installs a per-worker bit-sliced Phase A engine. Only install a slice
+  /// that evaluates *exactly* the same legitimacy and privilege functions
+  /// as the scalar predicates — the library's checker factories pair each
+  /// protocol with its kernel; a checker built around custom predicates
+  /// must leave this unset (run() then uses the scalar sweep).
+  void set_phase_a_slices(PhaseASliceFactory factory) {
+    phase_a_factory_ = std::move(factory);
+  }
+  bool has_phase_a_slices() const { return phase_a_factory_ != nullptr; }
 
   const ConfigCodec<State>& codec() const { return codec_; }
   const P& protocol() const { return protocol_; }
@@ -477,6 +494,7 @@ class ModelChecker {
   ConfigCodec<State> codec_;
   LegitPredicate legit_;
   PrivilegedCounter privileged_;
+  PhaseASliceFactory phase_a_factory_;
 };
 
 // --- implementation -------------------------------------------------------
@@ -501,56 +519,140 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
   ws.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) ws.emplace_back(codec_);
 
+  // Bit-sliced Phase A: one kernel engine per worker, evaluating guards,
+  // legitimacy and privilege for a whole lane word of consecutive
+  // configurations per pass. Witness merging is identical to the scalar
+  // walk, so the report is bit-identical in both modes (the differential
+  // tests pin this).
+  SSR_REQUIRE(options.phase_a != PhaseAMode::kSliced ||
+                  phase_a_factory_ != nullptr,
+              "PhaseAMode::kSliced requires a PhaseASlice factory "
+              "(set_phase_a_slices)");
+  const bool sliced_a = options.phase_a != PhaseAMode::kScalar &&
+                        phase_a_factory_ != nullptr;
+  std::vector<std::unique_ptr<PhaseASlice>> slices;
+  if (sliced_a) {
+    slices.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      slices.push_back(phase_a_factory_());
+    }
+    report.stats.phase_a_sliced = true;
+    report.stats.phase_a_backend = slices[0]->backend_name();
+    report.stats.phase_a_lanes = slices[0]->lanes();
+    // Lane windows must tile the chunk grid (chunks are kAlign-aligned).
+    SSR_ASSERT(kAlign % slices[0]->lanes() == 0,
+               "lane count must divide the chunk alignment");
+  }
+
   // ---- Phase A1: Lambda membership bitset. Shared across workers (each
   // word written by exactly one worker thanks to chunk alignment); the
   // closure check and the convergence pass index into it instead of
   // re-evaluating the predicate on decoded successors.
   util::TwoLevelBitset legit(total);
-  pool.for_chunks(0, total, chunk,
-                  [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
-                    Worker& wk = ws[w];
-                    wk.od.seek(lo);
-                    std::uint64_t count = 0;
-                    for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
-                      if (legit_(wk.od.config())) {
-                        legit.set(c);
-                        ++count;
+  if (sliced_a) {
+    pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                         std::uint64_t hi) {
+      PhaseASlice& sl = *slices[w];
+      const std::uint64_t lanes = sl.lanes();
+      std::vector<std::uint64_t> bits((lanes + 63) / 64);
+      std::uint64_t count = 0;
+      for (std::uint64_t base = lo; base < hi; base += lanes) {
+        const std::uint64_t cnt = std::min<std::uint64_t>(lanes, hi - base);
+        sl.legit_bits(base, cnt, bits.data());
+        for (std::uint64_t j = 0; j * 64 < cnt; ++j) {
+          legit.set_word(base + j * 64, bits[j]);
+          count += static_cast<std::uint64_t>(std::popcount(bits[j]));
+        }
+      }
+      ws[w].p.legit_count += count;
+    });
+  } else {
+    pool.for_chunks(0, total, chunk,
+                    [&](std::size_t w, std::uint64_t lo, std::uint64_t hi) {
+                      Worker& wk = ws[w];
+                      wk.od.seek(lo);
+                      std::uint64_t count = 0;
+                      for (std::uint64_t c = lo; c < hi;
+                           ++c, wk.od.advance()) {
+                        if (legit_(wk.od.config())) {
+                          legit.set(c);
+                          ++count;
+                        }
                       }
-                    }
-                    wk.p.legit_count += count;
-                  });
+                      wk.p.legit_count += count;
+                    });
+  }
 
   // ---- Phase A2: deadlock / token-bound / closure sweep.
-  pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
-                                       std::uint64_t hi) {
-    Worker& wk = ws[w];
-    SweepScratch& s = wk.s;
-    Partial& p = wk.p;
-    wk.od.seek(lo);
-    for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
-      const Config& config = wk.od.config();
-      enabled(config, s.idx, s.rules);
-      if (options.check_deadlock && s.idx.empty() && c < p.deadlock) {
-        p.deadlock = c;
+  if (sliced_a) {
+    const SliceQuery sq{options.check_deadlock, options.check_token_bounds,
+                        options.check_closure, options.min_privileged,
+                        options.max_privileged};
+    pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                         std::uint64_t hi) {
+      Worker& wk = ws[w];
+      PhaseASlice& sl = *slices[w];
+      const std::uint64_t lanes = sl.lanes();
+      SliceResult sr;
+      sr.deadlock = wk.p.deadlock;
+      sr.token = wk.p.token;
+      sr.min_priv = wk.p.min_priv;
+      for (std::uint64_t base = lo; base < hi; base += lanes) {
+        sl.sweep(base, std::min<std::uint64_t>(lanes, hi - base), sq, sr);
       }
-      const std::size_t priv = privileged_(config);
-      p.min_priv = std::min(p.min_priv, priv);
-      if (!legit.test(c)) continue;
-      if (options.check_token_bounds && c < p.token &&
-          (priv < options.min_privileged || priv > options.max_privileged)) {
-        p.token = c;
-      }
-      if (options.check_closure && c < p.closure && !s.idx.empty()) {
-        successors_at(config, wk.od.digits(), c, s);
-        for (std::uint64_t sc : s.succs) {
+      wk.p.deadlock = sr.deadlock;
+      wk.p.token = sr.token;
+      wk.p.min_priv = sr.min_priv;
+      // Closure candidates (legitimate with enabled processes — rare for
+      // a correct protocol) resolve scalar against the complete Lambda
+      // bitset, exactly as the scalar sweep would. Candidates ascend, so
+      // stop at the worker's current best witness.
+      for (std::uint64_t c : sr.closure_candidates) {
+        if (c >= wk.p.closure) break;
+        wk.od.seek(c);
+        enabled(wk.od.config(), wk.s.idx, wk.s.rules);
+        SSR_ASSERT(!wk.s.idx.empty(), "closure candidate lost its moves");
+        successors_at(wk.od.config(), wk.od.digits(), c, wk.s);
+        for (std::uint64_t sc : wk.s.succs) {
           if (!legit.test(sc)) {
-            p.closure = c;
+            wk.p.closure = c;
             break;
           }
         }
       }
-    }
-  });
+    });
+  } else {
+    pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                         std::uint64_t hi) {
+      Worker& wk = ws[w];
+      SweepScratch& s = wk.s;
+      Partial& p = wk.p;
+      wk.od.seek(lo);
+      for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) {
+        const Config& config = wk.od.config();
+        enabled(config, s.idx, s.rules);
+        if (options.check_deadlock && s.idx.empty() && c < p.deadlock) {
+          p.deadlock = c;
+        }
+        const std::size_t priv = privileged_(config);
+        p.min_priv = std::min(p.min_priv, priv);
+        if (!legit.test(c)) continue;
+        if (options.check_token_bounds && c < p.token &&
+            (priv < options.min_privileged || priv > options.max_privileged)) {
+          p.token = c;
+        }
+        if (options.check_closure && c < p.closure && !s.idx.empty()) {
+          successors_at(config, wk.od.digits(), c, s);
+          for (std::uint64_t sc : s.succs) {
+            if (!legit.test(sc)) {
+              p.closure = c;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
 
   {
     std::uint64_t deadlock = UINT64_MAX, closure = UINT64_MAX,

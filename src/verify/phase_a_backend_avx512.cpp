@@ -1,0 +1,21 @@
+// 512-lane Phase A slices. This TU is the only verify code compiled with
+// -mavx512f (see CMakeLists.txt): the WideWord<8> limb loops are plain
+// C++, the flag just lets the vectorizer emit 512-bit ops. Callers reach
+// it through verify/phase_a_dispatch.cpp after a cpuid check.
+#include "verify/phase_a_dispatch.hpp"
+
+#include "verify/phase_a_kernels.hpp"
+
+namespace ssr::verify::detail {
+
+std::unique_ptr<PhaseASlice> make_ssrmin_phase_a_slice_avx512(
+    std::size_t n, std::uint32_t K) {
+  return make_ssrmin_phase_a<util::Lane512>(n, K, "avx512");
+}
+
+std::unique_ptr<PhaseASlice> make_kstate_phase_a_slice_avx512(
+    std::size_t n, std::uint32_t K) {
+  return make_kstate_phase_a<util::Lane512>(n, K, "avx512");
+}
+
+}  // namespace ssr::verify::detail

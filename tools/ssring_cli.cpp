@@ -8,9 +8,10 @@
 //                    [--threads W] [--batched on|off]
 //       Convergence-step statistics from random initial configurations.
 //       Trials fan out over W workers (0 = hardware); the table is
-//       identical at every worker count. --batched (default on) runs 64
-//       bit-sliced trials per word when the daemon has a lane replay —
-//       same table, less wall time.
+//       identical at every worker count. --batched (default on) runs
+//       64/256/512 bit-sliced trials per lane word (widest backend the CPU
+//       supports; override with SSRING_LANE_BACKEND) when the daemon has a
+//       lane replay — same table, less wall time.
 //
 //   ssring check     [--n N] [--k K] [--threads T]
 //       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst
@@ -84,8 +85,10 @@
 #include "runtime/reactor.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/udp_ring.hpp"
+#include "sim/batch_dispatch.hpp"
 #include "sim/batch_engine.hpp"
 #include "sim/sweep.hpp"
+#include "util/lane_backend.hpp"
 #include "stabilizing/daemon.hpp"
 #include "stabilizing/engine.hpp"
 #include "stabilizing/trace.hpp"
@@ -188,13 +191,16 @@ int cmd_converge(int argc, char** argv) {
   const std::uint64_t seed = arg_seed(argc, argv);
   const std::uint64_t budget = 200ULL * n * n;
   std::vector<double> results;
+  const util::LaneBackend backend = util::detect_lane_backend();
   if (use_batch) {
     const auto spec = sim::lane_daemon_spec(daemon_name);
     const auto blocks =
-        sim::plan_blocks(static_cast<std::uint64_t>(trials), sweep.threads());
+        sim::plan_blocks(static_cast<std::uint64_t>(trials), sweep.threads(),
+                         util::lane_backend_lanes(backend));
     const auto per_block = sweep.map(blocks.size(), [&](std::uint64_t b) {
-      return sim::run_convergence_block<core::SlicedSsrMin>(
-          ring, spec, seed, blocks[b], budget, /*two_phase=*/false);
+      return sim::run_convergence_block_ssrmin(ring, spec, seed, blocks[b],
+                                               budget, /*two_phase=*/false,
+                                               backend);
     });
     for (const auto& block : per_block) {
       for (const auto& trial : block) {
@@ -222,6 +228,10 @@ int cmd_converge(int argc, char** argv) {
     if (s >= 0.0) steps.add(s);
   }
   std::cout << "(engine: " << (use_batch ? "batched" : "scalar");
+  if (use_batch) {
+    std::cout << ", backend " << util::lane_backend_name(backend) << " x"
+              << util::lane_backend_lanes(backend) << " lanes";
+  }
   if (batched_requested && !use_batch) {
     std::cout << "; daemon '" << daemon_name << "' has no lane replay";
   }
@@ -265,6 +275,18 @@ int cmd_check(int argc, char** argv) {
   }
   options.memory_budget_bytes = static_cast<std::uint64_t>(
       std::atoll(value_of(argc, argv, "--budget", "0")));
+  const std::string phase_a = value_of(argc, argv, "--phase-a", "auto");
+  if (phase_a == "auto") {
+    options.phase_a = verify::PhaseAMode::kAuto;
+  } else if (phase_a == "scalar") {
+    options.phase_a = verify::PhaseAMode::kScalar;
+  } else if (phase_a == "sliced") {
+    options.phase_a = verify::PhaseAMode::kSliced;
+  } else {
+    std::cerr << "unknown --phase-a " << phase_a
+              << " (auto | scalar | sliced)\n";
+    return 2;
+  }
   const bool stats = has_flag(argc, argv, "--stats");
 
   auto check = [&](auto checker, const char* name) {
@@ -726,7 +748,7 @@ void usage() {
          "  check      exhaustive model check (small n; --protocol "
          "ssrmin|dijkstra\n"
          "             --threads T --mode auto|legacy-csr|compressed|csr-free\n"
-         "             --budget BYTES --stats)\n"
+         "             --phase-a auto|scalar|sliced --budget BYTES --stats)\n"
          "  modelgap   token availability under message passing\n"
          "             (--workers W shards the engine; statistics are\n"
          "             byte-identical at every W)\n"
