@@ -46,6 +46,11 @@ std::string CheckStats::summary() const {
      << " heights=" << mib(heights_bytes)
      << " frontier=" << mib(frontier_bytes)
      << " escape_entries=" << escape_entries;
+  if (mode == PhaseBStorage::kSpill) {
+    os << "\n  spill=" << mib(spill_bytes) << " blocks_read=" << blocks_read
+       << " read_amplification=" << read_amplification << "x path="
+       << (spill_path.empty() ? "<none>" : spill_path);
+  }
   return os.str();
 }
 

@@ -67,6 +67,14 @@
 //       kCsrFree     — zero edge storage: successors are re-derived from
 //                      the odometer on every visit. Cheapest memory,
 //                      most recompute.
+//       kSpill       — the compressed records written to an unlinked
+//                      temp file (double-buffered background writes) and
+//                      streamed back per peel round through an mmap with
+//                      MADV_WILLNEED prefetch running a window ahead of
+//                      the consumers. Watch-free, so its *resident*
+//                      footprint (bitsets + offsets + heights) undercuts
+//                      even kCsrFree — the out-of-core tier for spaces
+//                      no in-RAM mode fits.
 //
 //     Per-structure peak bytes, edge counts and round counts are reported
 //     in CheckReport::stats.
@@ -87,6 +95,7 @@
 #include "util/thread_pool.hpp"
 #include "verify/phase_a_sliced.hpp"
 #include "verify/phaseb_store.hpp"
+#include "verify/spill_store.hpp"
 
 namespace ssr::verify {
 
@@ -171,8 +180,14 @@ struct CheckOptions {
   PhaseBStorage storage = PhaseBStorage::kAuto;
   /// Memory budget (bytes) for Phase B mode selection; 0 = the
   /// SSRING_CHECK_MEMORY_BUDGET environment variable, else 3/4 of
-  /// physical RAM.
+  /// min(physical RAM, cgroup memory limit).
   std::uint64_t memory_budget_bytes = 0;
+  /// Directory for the kSpill record stream; empty = SSRING_CHECK_TMPDIR,
+  /// else TMPDIR, else /tmp.
+  std::string spill_dir = {};
+  /// kSpill prefetch window in record blocks ahead of the consumers;
+  /// 0 = default (256 blocks, i.e. up to 1M configurations ahead).
+  std::uint32_t spill_window_blocks = 0;
 };
 
 /// Dense encoding of whole configurations as base-(states_per_process)
@@ -384,6 +399,9 @@ class ModelChecker {
     std::uint64_t edges = 0;          ///< daemon step edges seen
     std::uint64_t active0 = 0;        ///< initially active configs
     std::uint64_t finalized = 0;      ///< configs finalized this round
+    std::uint64_t cur_block = UINT64_MAX;  ///< spill peel: last block seen
+    std::uint64_t blocks_read = 0;    ///< spill peel: block transitions
+    std::uint64_t bytes_read = 0;     ///< spill peel: bytes streamed
     explicit Worker(const ConfigCodec<State>& codec) : od(codec) {}
   };
 
@@ -688,9 +706,6 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
   }
 
   // ---- Phase B: convergence by reverse induction from Lambda.
-  SSR_REQUIRE(total <= (std::uint64_t{1} << 32),
-              "convergence pass supports at most 2^32 configurations");
-
   const std::uint64_t budget = options.memory_budget_bytes != 0
                                    ? options.memory_budget_bytes
                                    : default_memory_budget();
@@ -698,6 +713,13 @@ CheckReport ModelChecker<P>::run(const CheckOptions& options) const {
   const PhaseBStorage mode =
       select_phaseb_storage(options.storage, total, codec_.ring_size(),
                             codec_.radix(), budget, &projected);
+  // The in-RAM peels index successors through u32 watch/edge entries; the
+  // watch-free spill peel has no u32-indexed structure, so only the
+  // resident-projection check (above) bounds it.
+  SSR_REQUIRE(mode == PhaseBStorage::kSpill ||
+                  total <= (std::uint64_t{1} << 32),
+              "convergence pass supports at most 2^32 configurations in "
+              "the in-RAM storage modes; use PhaseBStorage::kSpill");
   report.stats.mode = mode;
   report.stats.memory_budget_bytes = budget;
   report.stats.projected_peak_bytes = projected;
@@ -949,21 +971,35 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
   const std::size_t n = codec_.ring_size();
   const bool solo = pool.size() == 1;
   const bool compressed = mode == PhaseBStorage::kCompressed;
+  const bool spill = mode == PhaseBStorage::kSpill;
+  const bool has_records = compressed || spill;
 
   util::TwoLevelBitset active(total);
   std::vector<std::uint16_t> height_raw(total, 0);
-  std::vector<std::uint32_t> watch(total, 0);
+  // The spill peel is watch-free: dropping the 4-bytes-per-config watch
+  // table is exactly what puts its resident footprint under csr-free's.
+  std::vector<std::uint32_t> watch(spill ? 0 : total, 0);
 
   MoveRecordCodec rcodec;
   MoveStore store;
-  if (compressed) {
+  SpillMoveStore spill_store;
+  MoveLayout* layout = nullptr;
+  if (has_records) {
     rcodec = MoveRecordCodec(n, codec_.radix());
-    store.prepare(total, rcodec);
+    if (compressed) {
+      store.prepare(total, rcodec);
+      layout = &store.layout();
+    } else {
+      spill_store.prepare(
+          total, rcodec, resolve_spill_dir(options.spill_dir),
+          projected_spill_file_bytes(total, n, codec_.radix()));
+      layout = &spill_store.layout();
+    }
   }
 
   // Init pass: mark active configurations, tally the daemon edge count,
-  // and (compressed) lay out the record stream — per-config local offsets
-  // plus per-block byte totals, both functions of the index alone.
+  // and (record modes) lay out the record stream — per-config local
+  // offsets plus per-block byte totals, both functions of the index alone.
   pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
                                        std::uint64_t hi) {
     Worker& wk = ws[w];
@@ -979,30 +1015,30 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
       SSR_ASSERT(m < 20, "enabled set size out of range");
       active.set(c);
       height_raw[c] = HeightTable::kEscapeTag;  // unfinalized sentinel
-      watch[c] = static_cast<std::uint32_t>(c);  // self = no watch yet
+      if (!spill) watch[c] = static_cast<std::uint32_t>(c);  // no watch yet
       ++wk.active0;
       wk.edges += (std::uint64_t{1} << m) - 1;
       return m;
     };
-    if (!compressed) {
+    if (!has_records) {
       for (std::uint64_t c = lo; c < hi; ++c, wk.od.advance()) visit(c);
       return;
     }
-    // Chunks are kBlockBits-aligned and the store's block size divides
+    // Chunks are kBlockBits-aligned and the layout's block size divides
     // kBlockBits, so every record block is owned by one worker.
-    for (std::uint64_t b = lo >> store.block_shift();
-         store.block_begin(b) < hi; ++b) {
+    for (std::uint64_t b = lo >> layout->block_shift();
+         layout->block_begin(b) < hi; ++b) {
       std::uint16_t running = 0;
-      const std::uint64_t bend = std::min(hi, store.block_end(b));
-      for (std::uint64_t c = store.block_begin(b); c < bend;
+      const std::uint64_t bend = std::min(hi, layout->block_end(b));
+      for (std::uint64_t c = layout->block_begin(b); c < bend;
            ++c, wk.od.advance()) {
-        store.set_local_offset(c, running);
+        layout->set_local_offset(c, running);
         if (visit(c) == 0) continue;
         std::uint32_t mask = 0;
         for (std::size_t i : s.idx) mask |= std::uint32_t{1} << i;
         running += static_cast<std::uint16_t>(rcodec.encoded_size(mask));
       }
-      store.set_block_bytes(b, running);
+      layout->set_block_bytes(b, running);
     }
   });
 
@@ -1024,6 +1060,51 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
         rcodec.encode(mask, s.digit_deltas.data(), store.slot(c));
       }
     });
+  } else if (spill) {
+    spill_store.finalize_layout();
+    // Encode pass, out-of-core: each worker encodes one record block at a
+    // time into its double buffer and hands it to the background flusher;
+    // block file offsets come from the prefix-summed layout, so writes
+    // from different workers never overlap.
+    std::vector<SpillBlockWriter> writers;
+    writers.reserve(pool.size());
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      writers.emplace_back(spill_store.write_queue(), std::size_t{64} << 10);
+    }
+    try {
+      pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
+                                           std::uint64_t hi) {
+        Worker& wk = ws[w];
+        SweepScratch& s = wk.s;
+        for (std::uint64_t b = lo >> layout->block_shift();
+             layout->block_begin(b) < hi; ++b) {
+          const std::uint64_t bbytes = layout->block_bytes(b);
+          if (bbytes == 0) continue;  // no active configs in this block
+          std::uint8_t* base = writers[w].begin_block(bbytes);
+          const std::uint64_t bbegin = layout->block_begin(b);
+          const std::uint64_t bend = std::min(hi, layout->block_end(b));
+          wk.od.seek(bbegin);
+          for (std::uint64_t c = bbegin; c < bend; ++c, wk.od.advance()) {
+            if (height_raw[c] != HeightTable::kEscapeTag) continue;
+            enabled(wk.od.config(), s.idx, s.rules);
+            compute_digit_deltas(wk.od.config(), wk.od.digits(), s);
+            std::uint32_t mask = 0;
+            for (std::size_t i : s.idx) mask |= std::uint32_t{1} << i;
+            rcodec.encode(mask, s.digit_deltas.data(),
+                          base + layout->local_offset(c));
+          }
+          writers[w].end_block(layout->block_base(b), bbytes);
+        }
+      });
+    } catch (...) {
+      // The flush thread references the writers' buffers; stop it before
+      // they unwind.
+      spill_store.write_queue().abort();
+      throw;
+    }
+    spill_store.seal_for_read(options.spill_window_blocks != 0
+                                  ? options.spill_window_blocks
+                                  : 256);
   }
 
   std::uint64_t active0 = 0;
@@ -1039,7 +1120,11 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
     SSR_REQUIRE(round < HeightTable::kEscapeTag - 1,
                 "convergence depth exceeds packed u16 heights; rerun with "
                 "PhaseBStorage::kLegacyCsr");
-    for (Worker& wk : ws) wk.finalized = 0;
+    for (Worker& wk : ws) {
+      wk.finalized = 0;
+      wk.cur_block = UINT64_MAX;  // spill: each round streams afresh
+    }
+    if (spill) spill_store.begin_round();
     pool.for_chunks(0, total, chunk, [&](std::size_t w, std::uint64_t lo,
                                          std::uint64_t hi) {
       Worker& wk = ws[w];
@@ -1051,18 +1136,38 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
                           .load(std::memory_order_relaxed);
       };
       active.for_each_set(lo, hi, [&](std::uint64_t c) {
-        // Watched-successor probe: if the remembered successor is still
-        // unfinalized (or finalized only this round), c cannot finalize
-        // this round — one height load, nothing decoded.
-        const std::uint32_t w0 = watch[c];
-        if (w0 != static_cast<std::uint32_t>(c) && h_at(w0) >= round) {
-          return;
+        if (!spill) {
+          // Watched-successor probe: if the remembered successor is still
+          // unfinalized (or finalized only this round), c cannot finalize
+          // this round — one height load, nothing decoded.
+          const std::uint32_t w0 = watch[c];
+          if (w0 != static_cast<std::uint32_t>(c) && h_at(w0) >= round) {
+            return;
+          }
         }
         // Per-process code deltas of c's enabled moves into s.deltas.
         s.deltas.clear();
-        if (compressed) {
+        if (has_records) {
+          const std::uint8_t* rec;
+          if (spill) {
+            // Exact streaming telemetry: chunks are aligned to whole
+            // record blocks, so each block is visited by one worker and
+            // a per-worker last-block edge counts it exactly once per
+            // round. The progress cursor feeds the prefetch window.
+            const std::uint64_t b = c >> layout->block_shift();
+            if (b != wk.cur_block) {
+              wk.cur_block = b;
+              ++wk.blocks_read;
+              wk.bytes_read += layout->block_bytes(b);
+              spill_store.note_progress(layout->block_base(b) +
+                                        layout->block_bytes(b));
+            }
+            rec = spill_store.record_at(c);
+          } else {
+            rec = store.record_at(c);
+          }
           std::uint32_t mask = 0;
-          rcodec.decode(store.record_at(c), mask, s.digit_deltas.data());
+          rcodec.decode(rec, mask, s.digit_deltas.data());
           std::size_t k = 0;
           for (std::uint32_t bits = mask; bits != 0; bits &= bits - 1, ++k) {
             const auto i =
@@ -1092,8 +1197,11 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
           if (h_at(sc) >= round) {
             blocked = true;
             // sc == c (a zero-delta subset) re-arms the "no watch"
-            // sentinel; such a self-loop blocks every round anyway.
-            watch[c] = static_cast<std::uint32_t>(sc);
+            // sentinel; such a self-loop blocks every round anyway. The
+            // spill peel keeps no watch table — every active config
+            // re-decodes its record each round (the stream read is what
+            // the prefetch window hides).
+            if (!spill) watch[c] = static_cast<std::uint32_t>(sc);
             break;
           }
         }
@@ -1152,23 +1260,43 @@ void ModelChecker<P>::phase_b_packed(PhaseBStorage mode,
 
   CheckStats& st = report.stats;
   std::uint64_t edges = 0;
-  for (const Worker& wk : ws) edges += wk.edges;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_read = 0;
+  for (const Worker& wk : ws) {
+    edges += wk.edges;
+    blocks_read += wk.blocks_read;
+    bytes_read += wk.bytes_read;
+  }
   st.edge_count = edges;
   st.counts_bytes = watch.capacity() * sizeof(std::uint32_t);
-  st.offsets_bytes = compressed ? store.offset_bytes() : 0;
+  st.offsets_bytes = has_records ? layout->offset_bytes() : 0;
   st.edges_bytes = compressed ? store.stream_bytes() : 0;
   st.heights_bytes = height_raw.capacity() * sizeof(std::uint16_t);
   st.frontier_bytes = active.bytes();
+  if (spill) {
+    st.spill_bytes = spill_store.stream_bytes();
+    st.spill_path = spill_store.path();
+    st.blocks_read = blocks_read;
+    st.read_amplification =
+        st.spill_bytes == 0 ? 0.0
+                            : static_cast<double>(bytes_read) /
+                                  static_cast<double>(st.spill_bytes);
+  }
+  const std::uint64_t record_bytes = compressed ? st.edges_bytes
+                                                : st.spill_bytes;
   st.bytes_per_edge =
-      (compressed && edges != 0)
-          ? static_cast<double>(st.edges_bytes) / static_cast<double>(edges)
+      (has_records && edges != 0)
+          ? static_cast<double>(record_bytes) / static_cast<double>(edges)
           : 0.0;
   st.rounds = report.convergence_holds
                   ? static_cast<std::uint32_t>(report.worst_case_steps)
                   : rounds_run;
+  // measured_peak_bytes is the *resident* high-water mark; the spilled
+  // stream is disk, not RAM, so it is reported via spill_bytes instead.
   st.measured_peak_bytes = st.lambda_bytes + st.counts_bytes +
                            st.offsets_bytes + st.edges_bytes +
                            st.heights_bytes + st.frontier_bytes;
+  if (spill) spill_store.release();
 
   if (report.convergence_holds && options.keep_heights) {
     report.heights = HeightTable::adopt(std::move(height_raw));

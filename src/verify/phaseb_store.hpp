@@ -28,6 +28,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -162,13 +163,15 @@ inline std::uint32_t move_store_block_shift(std::size_t max_record) {
   return shift;
 }
 
-/// Random-access container of per-source move records. Layout is fixed by
-/// configuration index alone (never by thread schedule): records live in
-/// one byte stream, addressed as block_base[c >> shift] + local_off[c].
-class MoveStore {
+/// The two-level offset index shared by every record container: a record
+/// is addressed as block_base[c >> shift] + local_off[c]. The index is
+/// built in two passes (per-config local offsets + per-block byte totals,
+/// then one prefix sum) and is a function of the configuration index
+/// alone, never of the thread schedule. MoveStore keeps the byte stream
+/// in RAM next to it; SpillMoveStore (spill_store.hpp) keeps only this
+/// index resident and streams the bytes from disk.
+class MoveLayout {
  public:
-  MoveStore() = default;
-
   void prepare(std::uint64_t total, const MoveRecordCodec& codec) {
     total_ = total;
     block_shift_ = move_store_block_shift(codec.max_encoded_size());
@@ -176,6 +179,7 @@ class MoveStore {
     block_base_.assign(block_count() + 1, 0);
   }
 
+  std::uint64_t total() const { return total_; }
   std::uint32_t block_shift() const { return block_shift_; }
   std::uint64_t block_count() const {
     return total_ == 0 ? 0 : ((total_ - 1) >> block_shift_) + 1;
@@ -194,29 +198,32 @@ class MoveStore {
     block_base_[b + 1] = bytes;
   }
 
-  /// After pass 1: prefix-sums the block sizes and allocates the stream.
-  void finalize_layout() {
+  /// After pass 1: prefix-sums the block sizes into stream offsets.
+  void finalize() {
     for (std::uint64_t b = 0; b < block_count(); ++b) {
       block_base_[b + 1] += block_base_[b];
     }
-    stream_.assign(block_base_[block_count()], 0);
   }
 
-  std::uint8_t* slot(std::uint64_t c) {
-    return stream_.data() + block_base_[c >> block_shift_] + local_off_[c];
+  std::uint16_t local_offset(std::uint64_t c) const { return local_off_[c]; }
+  std::uint64_t block_base(std::uint64_t b) const { return block_base_[b]; }
+  std::uint64_t block_bytes(std::uint64_t b) const {
+    return block_base_[b + 1] - block_base_[b];
   }
-  const std::uint8_t* record_at(std::uint64_t c) const {
-    return stream_.data() + block_base_[c >> block_shift_] + local_off_[c];
+  std::uint64_t offset_of(std::uint64_t c) const {
+    return block_base_[c >> block_shift_] + local_off_[c];
+  }
+  /// Total stream bytes (valid after finalize()).
+  std::uint64_t total_bytes() const {
+    return block_base_.empty() ? 0 : block_base_.back();
   }
 
-  std::uint64_t stream_bytes() const { return stream_.size(); }
   std::uint64_t offset_bytes() const {
     return local_off_.capacity() * sizeof(std::uint16_t) +
            block_base_.capacity() * sizeof(std::uint64_t);
   }
 
   void release() {
-    stream_ = {};
     local_off_ = {};
     block_base_ = {};
   }
@@ -224,9 +231,64 @@ class MoveStore {
  private:
   std::uint64_t total_ = 0;
   std::uint32_t block_shift_ = 12;
-  std::vector<std::uint8_t> stream_;
   std::vector<std::uint16_t> local_off_;
   std::vector<std::uint64_t> block_base_;
+};
+
+/// Random-access container of per-source move records. Layout is fixed by
+/// configuration index alone (never by thread schedule): records live in
+/// one in-RAM byte stream, addressed through a MoveLayout.
+class MoveStore {
+ public:
+  MoveStore() = default;
+
+  void prepare(std::uint64_t total, const MoveRecordCodec& codec) {
+    layout_.prepare(total, codec);
+  }
+
+  MoveLayout& layout() { return layout_; }
+  const MoveLayout& layout() const { return layout_; }
+
+  std::uint32_t block_shift() const { return layout_.block_shift(); }
+  std::uint64_t block_count() const { return layout_.block_count(); }
+  std::uint64_t block_begin(std::uint64_t b) const {
+    return layout_.block_begin(b);
+  }
+  std::uint64_t block_end(std::uint64_t b) const {
+    return layout_.block_end(b);
+  }
+
+  void set_local_offset(std::uint64_t c, std::uint16_t off) {
+    layout_.set_local_offset(c, off);
+  }
+  void set_block_bytes(std::uint64_t b, std::uint64_t bytes) {
+    layout_.set_block_bytes(b, bytes);
+  }
+
+  /// After pass 1: prefix-sums the block sizes and allocates the stream.
+  void finalize_layout() {
+    layout_.finalize();
+    stream_.assign(layout_.total_bytes(), 0);
+  }
+
+  std::uint8_t* slot(std::uint64_t c) {
+    return stream_.data() + layout_.offset_of(c);
+  }
+  const std::uint8_t* record_at(std::uint64_t c) const {
+    return stream_.data() + layout_.offset_of(c);
+  }
+
+  std::uint64_t stream_bytes() const { return stream_.size(); }
+  std::uint64_t offset_bytes() const { return layout_.offset_bytes(); }
+
+  void release() {
+    stream_ = {};
+    layout_.release();
+  }
+
+ private:
+  MoveLayout layout_;
+  std::vector<std::uint8_t> stream_;
 };
 
 // --- packed heights --------------------------------------------------------
@@ -311,9 +373,10 @@ class HeightTable {
 // --- storage modes, projections, telemetry ---------------------------------
 
 /// Phase B storage backend. kAuto picks the cheapest mode whose projected
-/// peak fits the memory budget (compressed first, then CSR-free) and
-/// throws a projected-memory error if none fits.
-enum class PhaseBStorage { kAuto, kLegacyCsr, kCompressed, kCsrFree };
+/// *resident* peak fits the memory budget (compressed first, then
+/// CSR-free, then the disk-spilled stream) and throws a projected-memory
+/// error if none fits.
+enum class PhaseBStorage { kAuto, kLegacyCsr, kCompressed, kCsrFree, kSpill };
 
 inline const char* to_string(PhaseBStorage m) {
   switch (m) {
@@ -321,6 +384,7 @@ inline const char* to_string(PhaseBStorage m) {
     case PhaseBStorage::kLegacyCsr: return "legacy-csr";
     case PhaseBStorage::kCompressed: return "compressed";
     case PhaseBStorage::kCsrFree: return "csr-free";
+    case PhaseBStorage::kSpill: return "spill";
   }
   return "?";
 }
@@ -348,6 +412,15 @@ struct CheckStats {
   std::uint64_t heights_bytes = 0; ///< height table
   std::uint64_t frontier_bytes = 0;///< frontier vectors / active bitset
   std::uint64_t escape_entries = 0;///< sparse side-table entries taken
+  // Disk-tier telemetry (kSpill only; zero elsewhere). spill_bytes is the
+  // on-disk record stream; blocks_read counts record blocks streamed back
+  // in across all peel rounds; read_amplification is the total bytes
+  // streamed divided by spill_bytes (>= 1 for one full pass; roughly the
+  // round count for a converging peel, shrinking as rounds finalize).
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t blocks_read = 0;
+  double read_amplification = 0.0;
+  std::string spill_path;          ///< spill file location (kSpill only)
   std::string summary() const;
 };
 
@@ -379,6 +452,30 @@ inline std::uint64_t projected_csrfree_bytes(std::uint64_t total) {
   return 2 * projected_bitset_bytes(total) + 4 * total + 2 * total;
 }
 
+/// Resident upper bound for the spill mode. The record stream lives on
+/// disk and the peel is watch-free (no u32 watch table — dropping it is
+/// exactly what puts this bound under csr-free's), so RAM holds only the
+/// two bitsets, the two-level offset index and the u16 heights.
+inline std::uint64_t projected_spill_resident_bytes(std::uint64_t total,
+                                                    std::size_t n,
+                                                    std::uint64_t radix) {
+  const MoveRecordCodec codec(n, radix);
+  const std::uint32_t shift = move_store_block_shift(codec.max_encoded_size());
+  const std::uint64_t blocks = total == 0 ? 0 : ((total - 1) >> shift) + 1;
+  return 2 * projected_bitset_bytes(total) +  // Lambda + active
+         2 * total + 8 * (blocks + 1) +       // record offsets
+         2 * total;                           // heights
+}
+
+/// Upper bound on the spilled byte stream (every record maximal) — disk
+/// footprint, not RAM; reported alongside the resident projection so
+/// errors and --stats can tell the two tiers apart.
+inline std::uint64_t projected_spill_file_bytes(std::uint64_t total,
+                                                std::size_t n,
+                                                std::uint64_t radix) {
+  return total * MoveRecordCodec(n, radix).max_encoded_size();
+}
+
 /// The legacy CSR's peak for a measured edge count (reported for
 /// comparison; edges are unknown before a run, so auto never projects
 /// this mode).
@@ -393,48 +490,93 @@ inline std::uint64_t projected_legacy_bytes(std::uint64_t total,
          8 * total;                       // frontier vectors, worst case
 }
 
+/// Container memory limit from the cgroup filesystem, or 0 when
+/// unlimited/unavailable. Reads <root>/memory.max (cgroup v2), then
+/// <root>/memory/memory.limit_in_bytes (v1), where <root> is
+/// /sys/fs/cgroup unless overridden by SSRING_CGROUP_ROOT (the unit tests
+/// point that at a fake hierarchy). v2 spells "no limit" as the literal
+/// "max"; v1 as a near-2^63 page-rounded sentinel — both map to 0 here.
+inline std::uint64_t cgroup_memory_limit_bytes() {
+  const char* env = std::getenv("SSRING_CGROUP_ROOT");
+  const std::string root =
+      (env != nullptr && *env != '\0') ? env : "/sys/fs/cgroup";
+  for (const char* rel : {"/memory.max", "/memory/memory.limit_in_bytes"}) {
+    std::ifstream in(root + rel);
+    if (!in.is_open()) continue;
+    std::string tok;
+    in >> tok;
+    if (tok.empty() || tok == "max") continue;
+    const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+    if (v == 0 || v >= (std::uint64_t{1} << 60)) continue;
+    return v;
+  }
+  return 0;
+}
+
 /// Default Phase B memory budget: SSRING_CHECK_MEMORY_BUDGET (bytes) if
-/// set, else 3/4 of physical RAM, else 8 GiB.
+/// set, else 3/4 of min(physical RAM, cgroup memory limit), else 8 GiB.
+/// The cgroup min matters in containers: _SC_PHYS_PAGES reports *host*
+/// RAM there, and a budget above the container's limit meets the OOM
+/// killer before it meets the projection error.
 inline std::uint64_t default_memory_budget() {
   if (const char* env = std::getenv("SSRING_CHECK_MEMORY_BUDGET")) {
     const unsigned long long v = std::strtoull(env, nullptr, 10);
     if (v > 0) return v;
   }
+  std::uint64_t limit = 0;
 #if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)
   const long pages = sysconf(_SC_PHYS_PAGES);
   const long page = sysconf(_SC_PAGE_SIZE);
   if (pages > 0 && page > 0) {
-    return static_cast<std::uint64_t>(pages) *
-           static_cast<std::uint64_t>(page) / 4 * 3;
+    limit = static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
   }
 #endif
+  const std::uint64_t cgroup = cgroup_memory_limit_bytes();
+  if (cgroup != 0) limit = limit == 0 ? cgroup : std::min(limit, cgroup);
+  if (limit != 0) return limit / 4 * 3;
   return std::uint64_t{8} << 30;
 }
 
 /// Resolves the storage mode. For kAuto, picks compressed if its
-/// projected peak fits @p budget, else CSR-free, else throws the
-/// projected-memory error (the successor of the seed's hard 2^33 cap).
-/// An explicitly requested mode is also checked against the budget so the
-/// error can name the mode that *would* fit. Returns the resolved mode
-/// and stores the projection used in @p projected_out.
-inline PhaseBStorage select_phaseb_storage(PhaseBStorage requested,
-                                           std::uint64_t total, std::size_t n,
-                                           std::uint64_t radix,
-                                           std::uint64_t budget,
-                                           std::uint64_t* projected_out) {
+/// projected peak fits @p budget, else CSR-free, else spill (whose
+/// *resident* projection is compared against the budget — the record
+/// stream goes to disk), else throws the projected-memory error (the
+/// successor of the seed's hard 2^33 cap). An explicitly requested mode
+/// is also checked against the budget so the error can name the mode
+/// that *would* fit. Returns the resolved mode and stores the projection
+/// used in @p projected_out; when the resolved mode is kSpill,
+/// @p spill_file_out (if given) receives the projected on-disk bytes.
+inline PhaseBStorage select_phaseb_storage(
+    PhaseBStorage requested, std::uint64_t total, std::size_t n,
+    std::uint64_t radix, std::uint64_t budget, std::uint64_t* projected_out,
+    std::uint64_t* spill_file_out = nullptr) {
   const std::uint64_t proj_comp = projected_compressed_bytes(total, n, radix);
   const std::uint64_t proj_free = projected_csrfree_bytes(total);
+  const std::uint64_t proj_spill =
+      projected_spill_resident_bytes(total, n, radix);
+  const std::uint64_t proj_file = projected_spill_file_bytes(total, n, radix);
+  if (spill_file_out != nullptr) *spill_file_out = 0;
   auto err = [&](const std::string& head) {
     std::string fits;
     if (proj_comp <= budget) fits = "compressed mode would fit";
     else if (proj_free <= budget) fits = "csr-free mode would fit";
-    else fits = "no storage mode fits; reduce n or K, raise the memory "
-                "budget, or disable the convergence check";
+    else if (proj_spill <= budget) fits = "spill mode would fit";
+    else fits = "no storage mode fits (even spill keeps its offset index "
+                "resident); reduce n or K, raise the memory budget, or "
+                "disable the convergence check";
     SSR_REQUIRE(false, head + " (projected compressed=" +
                            std::to_string(proj_comp) +
                            " bytes, csr-free=" + std::to_string(proj_free) +
-                           " bytes, budget=" + std::to_string(budget) +
+                           " bytes, spill resident=" +
+                           std::to_string(proj_spill) + " bytes + " +
+                           std::to_string(proj_file) +
+                           " bytes on disk, budget=" + std::to_string(budget) +
                            " bytes; " + fits + ")");
+  };
+  auto pick_spill = [&]() {
+    *projected_out = proj_spill;
+    if (spill_file_out != nullptr) *spill_file_out = proj_file;
+    return PhaseBStorage::kSpill;
   };
   switch (requested) {
     case PhaseBStorage::kAuto:
@@ -446,6 +588,7 @@ inline PhaseBStorage select_phaseb_storage(PhaseBStorage requested,
         *projected_out = proj_free;
         return PhaseBStorage::kCsrFree;
       }
+      if (proj_spill <= budget) return pick_spill();
       err("configuration space exceeds the Phase B memory budget");
       break;
     case PhaseBStorage::kCompressed:
@@ -460,6 +603,12 @@ inline PhaseBStorage select_phaseb_storage(PhaseBStorage requested,
       }
       *projected_out = proj_free;
       return PhaseBStorage::kCsrFree;
+    case PhaseBStorage::kSpill:
+      if (proj_spill > budget) {
+        err("spill Phase B storage's resident index exceeds the memory "
+            "budget");
+      }
+      return pick_spill();
     case PhaseBStorage::kLegacyCsr:
       // Edge count is unknown before the run; the legacy baseline is
       // always honored as requested and its peak reported after the fact.

@@ -1,10 +1,10 @@
 // The parallel checker's contract: CheckReport is bit-identical at every
 // thread count AND in every Phase B storage mode — same witnesses, same
 // worst case, same height table. The differential tests below pin that by
-// running every covered (n, K) in all three storage backends (legacy CSR,
-// compressed move records, CSR-free) at 1, 2 and 8 workers (1 exercises
-// the solo fast path, the others the shared atomic counters), plus unit
-// tests for the underlying ThreadPool.
+// running every covered (n, K) in all four storage backends (legacy CSR,
+// compressed move records, CSR-free, disk-spilled records) at 1, 2 and 8
+// workers (1 exercises the solo fast path, the others the shared atomic
+// counters), plus unit tests for the underlying ThreadPool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -115,7 +115,8 @@ void check_thread_invariance(const Checker& checker,
   EXPECT_FALSE(baseline.heights.empty()) << what;
   for (verify::PhaseBStorage storage : {verify::PhaseBStorage::kLegacyCsr,
                                         verify::PhaseBStorage::kCompressed,
-                                        verify::PhaseBStorage::kCsrFree}) {
+                                        verify::PhaseBStorage::kCsrFree,
+                                        verify::PhaseBStorage::kSpill}) {
     options.storage = storage;
     for (std::size_t threads :
          {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
@@ -129,6 +130,11 @@ void check_thread_invariance(const Checker& checker,
                           " threads=" + std::to_string(threads);
       expect_identical(baseline, got, label.c_str());
       EXPECT_EQ(got.stats.mode, storage) << label;
+      if (storage == verify::PhaseBStorage::kSpill) {
+        EXPECT_GT(got.stats.spill_bytes, 0u) << label;
+        EXPECT_GT(got.stats.blocks_read, 0u) << label;
+        EXPECT_GE(got.stats.read_amplification, 1.0) << label;
+      }
     }
   }
 }
@@ -175,6 +181,42 @@ TEST(ModelCheckParallel, BigSpacesAreModeAndThreadInvariant) {
                           "dijkstra(8,9)");
 }
 
+TEST(ModelCheckParallel, AutoSpillsUnderTightBudgetAndMatchesInRam) {
+  // The auto-picker's out-of-core tier, in the default suite: a budget
+  // squeezed between the spill mode's resident projection and the
+  // csr-free projection (the cheapest in-RAM mode) must make kAuto spill
+  // — and the spilled report must match an unconstrained compressed run
+  // bit-for-bit. The budget arrives via SSRING_CHECK_MEMORY_BUDGET, so
+  // the env path of the default-budget resolution is on the hook too.
+  const auto checker = verify::make_ssrmin_checker(4, 5);
+  const std::uint64_t total = checker.codec().total();
+  const std::uint64_t proj_spill = verify::projected_spill_resident_bytes(
+      total, 4, checker.codec().radix());
+  const std::uint64_t proj_free = verify::projected_csrfree_bytes(total);
+  ASSERT_LT(proj_spill, proj_free)
+      << "watch-free spill must undercut csr-free or auto can never spill";
+  const std::uint64_t budget = (proj_spill + proj_free) / 2;
+
+  verify::CheckOptions options;
+  options.keep_heights = true;
+  options.threads = 2;
+  const verify::CheckReport in_ram = checker.run(options);
+  EXPECT_EQ(in_ram.stats.mode, verify::PhaseBStorage::kCompressed);
+
+  ASSERT_EQ(setenv("SSRING_CHECK_MEMORY_BUDGET",
+                   std::to_string(budget).c_str(), 1),
+            0);
+  const verify::CheckReport spilled = checker.run(options);
+  ASSERT_EQ(unsetenv("SSRING_CHECK_MEMORY_BUDGET"), 0);
+
+  EXPECT_EQ(spilled.stats.mode, verify::PhaseBStorage::kSpill);
+  EXPECT_EQ(spilled.stats.memory_budget_bytes, budget);
+  EXPECT_GT(spilled.stats.spill_bytes, 0u);
+  EXPECT_LE(spilled.stats.measured_peak_bytes,
+            spilled.stats.projected_peak_bytes);
+  expect_identical(in_ram, spilled, "ssrmin(4,5) forced spill");
+}
+
 TEST(ModelCheckParallel, DefaultThreadsMatchesSequential) {
   const auto checker = verify::make_ssrmin_checker(3, 5);
   verify::CheckOptions options;
@@ -205,7 +247,8 @@ void check_phase_a_invariance(const Checker& checker,
   options.phase_a = verify::PhaseAMode::kSliced;
   for (verify::PhaseBStorage storage : {verify::PhaseBStorage::kLegacyCsr,
                                         verify::PhaseBStorage::kCompressed,
-                                        verify::PhaseBStorage::kCsrFree}) {
+                                        verify::PhaseBStorage::kCsrFree,
+                                        verify::PhaseBStorage::kSpill}) {
     options.storage = storage;
     for (std::size_t threads :
          {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {

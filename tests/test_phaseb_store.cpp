@@ -1,18 +1,26 @@
 // Unit tests for the slim Phase B storage primitives: the varint move
 // record codec (round-trip + fuzz), the two-level MoveStore layout, the
-// packed HeightTable with its sparse escape, the TwoLevelBitset, and the
-// projected-memory mode-selection guard that replaced the old hard cap.
+// packed HeightTable with its sparse escape, the TwoLevelBitset, the
+// disk-spilled record store (round-trip fuzz + hardened error paths), the
+// cgroup-aware memory budget, and the projected-memory mode-selection
+// guard that replaced the old hard cap.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "util/packed_bitset.hpp"
 #include "util/rng.hpp"
 #include "verify/checkers.hpp"
 #include "verify/phaseb_store.hpp"
+#include "verify/spill_store.hpp"
 
 namespace {
 
@@ -139,6 +147,157 @@ TEST(MoveStore, ShrinksBlockShiftForHugeRecords) {
   EXPECT_LE((std::uint64_t{1} << store.block_shift()) *
                 codec.max_encoded_size(),
             65535u);
+}
+
+// --- SpillMoveStore --------------------------------------------------------
+
+TEST(SpillStore, RoundTripFuzzMirrorsTheCodecFuzz) {
+  // The spill pipeline end to end — two-pass layout, double-buffered
+  // block writes through the background flusher, fstat-checked mmap,
+  // prefetch thread — must hand back byte-identical records for random
+  // (n, radix, mask, delta) populations, mirroring the in-RAM codec fuzz.
+  Rng rng(20260809);
+  std::uint8_t buf[64];
+  std::int32_t out[32];
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 1 + rng.below(32);
+    const std::uint64_t radix = 2 + rng.below(64);
+    const MoveRecordCodec codec(n, radix);
+    const std::uint64_t total = 3000 + rng.below(9000);
+
+    std::vector<std::uint32_t> masks(total);
+    std::vector<std::vector<std::int32_t>> deltas(total);
+    for (std::uint64_t c = 0; c < total; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.below(2) == 0) continue;
+        masks[c] |= std::uint32_t{1} << i;
+        deltas[c].push_back(
+            static_cast<std::int32_t>(rng.below(2 * radix - 1)) -
+            static_cast<std::int32_t>(radix - 1));
+      }
+    }
+
+    verify::SpillMoveStore store;
+    store.prepare(total, codec, testing::TempDir(),
+                  verify::projected_spill_file_bytes(total, n, radix));
+    verify::MoveLayout& layout = store.layout();
+    for (std::uint64_t b = 0; b < layout.block_count(); ++b) {
+      std::uint16_t running = 0;
+      for (std::uint64_t c = layout.block_begin(b); c < layout.block_end(b);
+           ++c) {
+        layout.set_local_offset(c, running);
+        running =
+            static_cast<std::uint16_t>(running + codec.encoded_size(masks[c]));
+      }
+      layout.set_block_bytes(b, running);
+    }
+    store.finalize_layout();
+
+    verify::SpillBlockWriter writer(store.write_queue(), std::size_t{64} << 10);
+    std::uint64_t expected_bytes = 0;
+    for (std::uint64_t b = 0; b < layout.block_count(); ++b) {
+      const std::uint64_t bbytes = layout.block_bytes(b);
+      if (bbytes == 0) continue;
+      std::uint8_t* base = writer.begin_block(bbytes);
+      for (std::uint64_t c = layout.block_begin(b); c < layout.block_end(b);
+           ++c) {
+        const std::size_t written =
+            codec.encode(masks[c], deltas[c].data(), buf);
+        ASSERT_EQ(written, codec.encoded_size(masks[c]));
+        std::copy(buf, buf + written, base + layout.local_offset(c));
+      }
+      writer.end_block(layout.block_base(b), bbytes);
+      expected_bytes += bbytes;
+    }
+    store.seal_for_read(4);
+    ASSERT_EQ(store.stream_bytes(), expected_bytes) << "iter " << iter;
+
+    store.begin_round();
+    for (std::uint64_t c = 0; c < total; ++c) {
+      store.note_progress(layout.offset_of(c));
+      std::uint32_t got_mask = 0;
+      const std::size_t read = codec.decode(store.record_at(c), got_mask, out);
+      ASSERT_EQ(read, codec.encoded_size(masks[c])) << "iter " << iter;
+      ASSERT_EQ(got_mask, masks[c]) << "iter " << iter << " config " << c;
+      for (std::size_t k = 0; k < deltas[c].size(); ++k) {
+        ASSERT_EQ(out[k], deltas[c][k])
+            << "iter " << iter << " config " << c << " slot " << k;
+      }
+    }
+    store.release();
+  }
+}
+
+TEST(SpillStore, UnwritableTmpdirNamesDirAndProjectedBytes) {
+  const MoveRecordCodec codec(4, 8);
+  verify::SpillMoveStore store;
+  store.prepare(100, codec, "/nonexistent-ssring-tmpdir", 12345);
+  store.layout().set_block_bytes(0, 16);  // a non-empty stream to create
+  try {
+    store.finalize_layout();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("/nonexistent-ssring-tmpdir"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("projected spill bytes=12345"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(SpillStore, TruncatedSpillFileIsAnErrorNotASigbus) {
+  std::string path = testing::TempDir() + "/ssring-truncated-XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, "abcd", 4), 4);
+  ASSERT_EQ(::close(fd), 0);
+
+  verify::SpillFile file;
+  file.open_path(path, 999);
+  try {
+    file.map_readonly(4096);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4096 expected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("projected spill bytes=999"), std::string::npos) << msg;
+  }
+  file.close();
+  ::unlink(path.c_str());
+}
+
+TEST(SpillStore, EnospcMidWriteSurfacesAsRequireError) {
+  // /dev/full fails every write with ENOSPC — the direct write path and
+  // the background flush queue must both turn that into the named error.
+  struct stat st {};
+  if (::stat("/dev/full", &st) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  std::uint8_t block[256] = {};
+  {
+    verify::SpillFile file;
+    file.open_path("/dev/full", 777);
+    try {
+      file.write_at(0, block, sizeof block);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("/dev/full"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("write failed"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("projected spill bytes=777"), std::string::npos)
+          << msg;
+    }
+  }
+  {
+    verify::SpillFile file;
+    file.open_path("/dev/full", 777);
+    verify::SpillWriteQueue queue(file);
+    queue.start();
+    bool busy = false;
+    queue.submit(block, 0, sizeof block, &busy);
+    EXPECT_THROW(queue.finish(), std::invalid_argument);
+  }
 }
 
 // --- HeightTable -----------------------------------------------------------
@@ -274,6 +433,85 @@ TEST(PhaseBSelection, ErrorNamesProjectedBytesAndFittingMode) {
   }
 }
 
+TEST(PhaseBSelection, AutoPicksSpillWhenNoInRamModeFits) {
+  const std::uint64_t total = 1 << 20;
+  const std::uint64_t free = verify::projected_csrfree_bytes(total);
+  const std::uint64_t spill =
+      verify::projected_spill_resident_bytes(total, 5, 24);
+  // The spill tier only exists below csr-free — that ordering is what the
+  // watch-free peel buys.
+  ASSERT_LT(spill, free);
+  std::uint64_t projected = 0;
+  std::uint64_t spill_file = 0;
+  const PhaseBStorage mode =
+      verify::select_phaseb_storage(PhaseBStorage::kAuto, total, 5, 24,
+                                    (spill + free) / 2, &projected,
+                                    &spill_file);
+  EXPECT_EQ(mode, PhaseBStorage::kSpill);
+  EXPECT_EQ(projected, spill);
+  EXPECT_EQ(spill_file, verify::projected_spill_file_bytes(total, 5, 24));
+
+  // Below even the spill-resident floor, the error names the disk split.
+  try {
+    verify::select_phaseb_storage(PhaseBStorage::kSpill, total, 5, 24,
+                                  spill / 2, &projected);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spill resident=" + std::to_string(spill)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("no storage mode fits"), std::string::npos) << msg;
+  }
+}
+
+// --- memory budget ---------------------------------------------------------
+
+TEST(MemoryBudget, CgroupLimitCapsTheDefault) {
+  // An env-injected fake cgroup hierarchy: the default budget must take
+  // min(physical RAM, cgroup limit), read v2 then v1, and treat both
+  // "unlimited" spellings as no limit.
+  std::string root = testing::TempDir() + "/ssring-cgroup-XXXXXX";
+  ASSERT_NE(::mkdtemp(root.data()), nullptr);
+  ASSERT_EQ(setenv("SSRING_CGROUP_ROOT", root.c_str(), 1), 0);
+
+  const std::uint64_t phys =
+      static_cast<std::uint64_t>(sysconf(_SC_PHYS_PAGES)) *
+      static_cast<std::uint64_t>(sysconf(_SC_PAGE_SIZE));
+
+  // cgroup v2: a 1 GiB limit.
+  const std::uint64_t gib = std::uint64_t{1} << 30;
+  { std::ofstream(root + "/memory.max") << gib << "\n"; }
+  EXPECT_EQ(verify::cgroup_memory_limit_bytes(), gib);
+  EXPECT_EQ(verify::default_memory_budget(), std::min(phys, gib) / 4 * 3);
+
+  // cgroup v2 unlimited: budget falls back to physical RAM.
+  { std::ofstream(root + "/memory.max") << "max\n"; }
+  EXPECT_EQ(verify::cgroup_memory_limit_bytes(), 0u);
+  EXPECT_EQ(verify::default_memory_budget(), phys / 4 * 3);
+
+  // cgroup v1 fallback path.
+  ASSERT_EQ(::unlink((root + "/memory.max").c_str()), 0);
+  ASSERT_EQ(::mkdir((root + "/memory").c_str(), 0755), 0);
+  const std::uint64_t half_gib = gib / 2;
+  {
+    std::ofstream(root + "/memory/memory.limit_in_bytes") << half_gib << "\n";
+  }
+  EXPECT_EQ(verify::cgroup_memory_limit_bytes(), half_gib);
+
+  // cgroup v1 spells "no limit" as a near-2^63 page-rounded sentinel.
+  {
+    std::ofstream(root + "/memory/memory.limit_in_bytes")
+        << "9223372036854771712\n";
+  }
+  EXPECT_EQ(verify::cgroup_memory_limit_bytes(), 0u);
+
+  ASSERT_EQ(unsetenv("SSRING_CGROUP_ROOT"), 0);
+  ::unlink((root + "/memory/memory.limit_in_bytes").c_str());
+  ::rmdir((root + "/memory").c_str());
+  ::rmdir(root.c_str());
+}
+
 TEST(PhaseBSelection, CheckerRunHonorsTheBudgetGuard) {
   // End to end: a run with an impossible budget throws the projected-
   // memory error instead of the old hard 2^33 cap, and a sweep-only run
@@ -288,11 +526,13 @@ TEST(PhaseBSelection, CheckerRunHonorsTheBudgetGuard) {
 
 TEST(PhaseBSelection, MeasuredPeakReconcilesWithProjection) {
   // The projection is an upper bound for the mode actually run: measured
-  // peak <= projected peak, for both slim backends.
+  // (resident) peak <= projected peak, for all three slim backends — the
+  // spilled stream is disk, not RAM, and must stay out of measured peak.
   auto checker = verify::make_ssrmin_checker(4, 5);
   verify::CheckOptions options;
   for (PhaseBStorage storage :
-       {PhaseBStorage::kCompressed, PhaseBStorage::kCsrFree}) {
+       {PhaseBStorage::kCompressed, PhaseBStorage::kCsrFree,
+        PhaseBStorage::kSpill}) {
     options.storage = storage;
     const verify::CheckReport report = checker.run(options);
     EXPECT_GT(report.stats.measured_peak_bytes, 0u);
@@ -300,6 +540,11 @@ TEST(PhaseBSelection, MeasuredPeakReconcilesWithProjection) {
               report.stats.projected_peak_bytes)
         << verify::to_string(storage);
     EXPECT_GT(report.stats.edge_count, 0u);
+    if (storage == PhaseBStorage::kSpill) {
+      EXPECT_GT(report.stats.spill_bytes, 0u);
+      EXPECT_GT(report.stats.blocks_read, 0u);
+      EXPECT_FALSE(report.stats.spill_path.empty());
+    }
   }
 }
 

@@ -84,6 +84,33 @@ def check_batched_rows(name: str, doc, problems: list[str]) -> None:
             "(regenerate without --batched off)")
 
 
+def check_spill_rows(name: str, doc, problems: list[str]) -> None:
+    """BENCH_modelcheck.json must track the out-of-core tier: every row
+    carries ``spill_bytes`` (0 for the in-RAM modes) and at least one row
+    actually ran ``mode == "spill"`` with a nonzero stream. A rerun that
+    dropped the column or never exercised the spill backend fails CI here
+    instead of shipping a trajectory that no longer measures Phase B's
+    disk tier."""
+    if not isinstance(doc, list):
+        problems.append(f"{name}: expected a row list to check spill coverage")
+        return
+    missing = [i for i, row in enumerate(doc)
+               if not isinstance(row, dict) or "spill_bytes" not in row]
+    if missing:
+        problems.append(
+            f"{name}: rows {missing[:5]} lack the 'spill_bytes' column")
+        return
+    def spilled(row):
+        try:
+            return row.get("mode") == "spill" and int(row["spill_bytes"]) > 0
+        except (TypeError, ValueError):
+            return False
+    if not any(spilled(row) for row in doc):
+        problems.append(
+            f"{name}: no row ran the spill storage mode with a nonzero "
+            "stream; regenerate with the out-of-core rows enabled")
+
+
 def check_multiring_rows(name: str, doc, problems: list[str]) -> None:
     """BENCH_multiring.json must chart the reactor scaling claim: at least
     three scale rows, each carrying ``rings``, ``handovers_per_sec`` and
@@ -176,6 +203,7 @@ def main() -> int:
         if name == "BENCH_modelcheck.json":
             before = len(problems)
             check_backend_rows(name, doc, problems)
+            check_spill_rows(name, doc, problems)
             if len(problems) > before:
                 continue
         if name == "BENCH_multiring.json":

@@ -13,10 +13,12 @@
 //       supports; override with SSRING_LANE_BACKEND) when the daemon has a
 //       lane replay — same table, less wall time.
 //
-//   ssring check     [--n N] [--k K] [--threads T]
+//   ssring check     [--n N] [--k K] [--threads T] [--mode M] [--tmpdir D]
 //       Exhaustive model check (small n): lemmas 1/2/4/6 + exact worst
 //       case. T = 0 (default) uses one worker per hardware thread; the
-//       report is identical at every thread count.
+//       report is identical at every thread count and in every --mode,
+//       including spill (Phase B move records stream through a temp file
+//       in --tmpdir / $SSRING_CHECK_TMPDIR when the space outgrows RAM).
 //
 //   ssring modelgap  [--n N] [--delay D] [--duration T] [--seed X]
 //                    [--workers W]
@@ -268,13 +270,16 @@ int cmd_check(int argc, char** argv) {
     options.storage = verify::PhaseBStorage::kCompressed;
   } else if (mode == "csr-free") {
     options.storage = verify::PhaseBStorage::kCsrFree;
+  } else if (mode == "spill") {
+    options.storage = verify::PhaseBStorage::kSpill;
   } else {
     std::cerr << "unknown --mode " << mode
-              << " (auto | legacy-csr | compressed | csr-free)\n";
+              << " (auto | legacy-csr | compressed | csr-free | spill)\n";
     return 2;
   }
   options.memory_budget_bytes = static_cast<std::uint64_t>(
       std::atoll(value_of(argc, argv, "--budget", "0")));
+  options.spill_dir = value_of(argc, argv, "--tmpdir", "");
   const std::string phase_a = value_of(argc, argv, "--phase-a", "auto");
   if (phase_a == "auto") {
     options.phase_a = verify::PhaseAMode::kAuto;
@@ -747,8 +752,10 @@ void usage() {
          "(--threads W)\n"
          "  check      exhaustive model check (small n; --protocol "
          "ssrmin|dijkstra\n"
-         "             --threads T --mode auto|legacy-csr|compressed|csr-free\n"
-         "             --phase-a auto|scalar|sliced --budget BYTES --stats)\n"
+         "             --threads T --mode "
+         "auto|legacy-csr|compressed|csr-free|spill\n"
+         "             --phase-a auto|scalar|sliced --budget BYTES\n"
+         "             --tmpdir DIR --stats)\n"
          "  modelgap   token availability under message passing\n"
          "             (--workers W shards the engine; statistics are\n"
          "             byte-identical at every W)\n"
